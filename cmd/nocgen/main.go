@@ -1,0 +1,48 @@
+// Command nocgen writes benchmark designs in the JSON interchange format:
+// the D1-D4 SoC stand-ins or synthetic Spread/Bottleneck designs from
+// Section 6.1 of the paper.
+//
+// Usage:
+//
+//	nocgen -design D1 > d1.json
+//	nocgen -class Sp -usecases 10 -seed 7 > sp10.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/traffic"
+)
+
+func main() {
+	design := flag.String("design", "", "named design: D1|D2|D3|D4")
+	class := flag.String("class", "", "synthetic class: Sp|Bot")
+	useCases := flag.Int("usecases", 10, "number of use-cases for synthetic designs")
+	seed := flag.Int64("seed", 7, "generator seed")
+	flag.Parse()
+
+	var d *traffic.Design
+	var err error
+	switch {
+	case *design != "":
+		d, err = bench.ByName(*design)
+	case *class == "Sp":
+		d, err = bench.Synthetic(bench.SpreadSpec(*useCases, *seed))
+	case *class == "Bot":
+		d, err = bench.Synthetic(bench.BottleneckSpec(*useCases, *seed))
+	default:
+		fmt.Fprintln(os.Stderr, "nocgen: need -design D1..D4 or -class Sp|Bot")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocgen:", err)
+		os.Exit(1)
+	}
+	if err := d.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nocgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+// Command nocmap runs the full multi-use-case mapping methodology on a
+// design given in the JSON interchange format and reports the resulting NoC:
+// topology, placement, per-use-case configurations, verification status,
+// area and power estimates. With -vhdl/-config/-placement it writes the
+// back-end artifacts.
+//
+// Usage:
+//
+//	nocmap -in design.json [-freq 500] [-slots 64] [-vhdl noc.vhd]
+//	       [-config prefix] [-placement place.txt] [-improve]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nocmap/internal/area"
+	"nocmap/internal/core"
+	"nocmap/internal/power"
+	"nocmap/internal/rtlgen"
+	"nocmap/internal/sim"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+	"nocmap/internal/verify"
+)
+
+func main() {
+	in := flag.String("in", "", "design JSON file (required)")
+	freq := flag.Float64("freq", 500, "NoC frequency in MHz")
+	slots := flag.Int("slots", 64, "TDMA slot-table size")
+	maxDim := flag.Int("maxdim", 20, "maximum mesh dimension")
+	improve := flag.Bool("improve", false, "run placement refinement after mapping")
+	vhdl := flag.String("vhdl", "", "write structural VHDL to this file")
+	config := flag.String("config", "", "write per-use-case slot-table images to <prefix>-<usecase>.cfg")
+	placement := flag.String("placement", "", "write core placement table to this file")
+	simulate := flag.Bool("sim", false, "validate every configuration with the slot-accurate simulator")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *freq, *slots, *maxDim, *improve, *vhdl, *config, *placement, *simulate); err != nil {
+		fmt.Fprintln(os.Stderr, "nocmap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, freq float64, slots, maxDim int, improve bool, vhdl, config, placement string, simulate bool) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := traffic.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("design %q: %d cores, %d use-cases (%d compound generated), %d configuration groups\n",
+		d.Name, d.NumCores(), len(prep.UseCases), len(prep.UseCases)-prep.NumOriginal, len(prep.Groups))
+
+	p := core.DefaultParams()
+	p.FreqMHz = freq
+	p.SlotTableSize = slots
+	p.MaxMeshDim = maxDim
+	p.Improve = improve
+	res, err := core.Map(prep, d.NumCores(), p)
+	if err != nil {
+		return err
+	}
+	m := res.Mapping
+	fmt.Printf("mapped onto %s at %.0f MHz\n", m.Topology, freq)
+	fmt.Printf("stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
+		res.Stats.MaxLinkUtil*100, res.Stats.AvgMeshHops, res.Stats.SlotsReserved)
+
+	if vs := verify.Check(m); len(vs) > 0 {
+		for _, v := range vs {
+			fmt.Fprintln(os.Stderr, "verify:", v)
+		}
+		return fmt.Errorf("%d verification violations", len(vs))
+	}
+	fmt.Println("verification: all invariants hold")
+
+	model := area.DefaultModel()
+	fmt.Printf("area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
+		model.NoCMM2(m), power.Watts(m.SwitchCount(), freq)*1000, freq)
+
+	if simulate {
+		problems := sim.VerifyAgainstAnalytic(m, 16*p.SlotTableSize)
+		if len(problems) > 0 {
+			for _, pr := range problems {
+				fmt.Fprintln(os.Stderr, "sim:", pr)
+			}
+			return fmt.Errorf("%d simulation problems", len(problems))
+		}
+		fmt.Println("simulation: delivered bandwidth and latency match the guarantees")
+	}
+
+	if vhdl != "" {
+		if err := writeFile(vhdl, func(w *os.File) error { return rtlgen.WriteVHDL(w, m) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote", vhdl)
+	}
+	if config != "" {
+		for uc := range prep.UseCases {
+			name := fmt.Sprintf("%s-%s.cfg", config, prep.UseCases[uc].Name)
+			ucCopy := uc
+			if err := writeFile(name, func(w *os.File) error { return rtlgen.WriteConfig(w, m, ucCopy) }); err != nil {
+				return err
+			}
+			fmt.Println("wrote", name)
+		}
+	}
+	if placement != "" {
+		if err := writeFile(placement, func(w *os.File) error { return rtlgen.WritePlacement(w, m) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote", placement)
+	}
+	return nil
+}
+
+func writeFile(name string, fn func(*os.File) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,99 @@
+// Command nocsim maps a design and then exercises it on the slot-accurate
+// simulator: per-use-case delivered bandwidth and worst-case latency, plus
+// the reconfiguration cost matrix for every use-case switch.
+//
+// Usage:
+//
+//	nocsim -in design.json [-rotations 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nocmap/internal/core"
+	"nocmap/internal/sim"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+func main() {
+	in := flag.String("in", "", "design JSON file (required)")
+	rotations := flag.Int("rotations", 64, "slot-table rotations to simulate")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *rotations); err != nil {
+		fmt.Fprintln(os.Stderr, "nocsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, rotations int) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := traffic.ReadJSON(f)
+	if err != nil {
+		return err
+	}
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		return err
+	}
+	p := core.DefaultParams()
+	res, err := core.Map(prep, d.NumCores(), p)
+	if err != nil {
+		return err
+	}
+	m := res.Mapping
+	cfg := sim.Config{Slots: rotations * p.SlotTableSize, ReconfigCyclesPerEntry: 4}
+	fmt.Printf("design %q on %s, simulating %d slots per use-case\n", d.Name, m.Topology, cfg.Slots)
+
+	for uc := range prep.UseCases {
+		r, err := sim.Run(m, uc, cfg)
+		if err != nil {
+			return err
+		}
+		var worst, bound int
+		var demanded, delivered float64
+		for _, fs := range r.Flows {
+			if fs.MaxLatencySlots > worst {
+				worst = fs.MaxLatencySlots
+			}
+			if fs.AnalyticBoundSlots > bound {
+				bound = fs.AnalyticBoundSlots
+			}
+			delivered += fs.DeliveredMBs
+		}
+		for _, fl := range prep.UseCases[uc].Flows {
+			demanded += fl.BandwidthMBs
+		}
+		fmt.Printf("  %-16s conflicts=%d delivered=%.0f/%.0f MB/s worst-latency=%d slots (bound %d)\n",
+			r.UseCase, r.Conflicts, delivered, demanded, worst, bound)
+	}
+
+	fmt.Println("reconfiguration cost (cycles) when switching row -> column:")
+	fmt.Printf("%16s", "")
+	for _, u := range prep.UseCases {
+		fmt.Printf(" %10.10s", u.Name)
+	}
+	fmt.Println()
+	for a := range prep.UseCases {
+		fmt.Printf("%16.16s", prep.UseCases[a].Name)
+		for b := range prep.UseCases {
+			c, err := sim.SwitchCost(m, a, b, cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %10d", c)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Quickstart: map the two-use-case example of the paper's Figure 5 and walk
+// through what the methodology produced — the shared placement of cores onto
+// the mesh and the per-use-case paths and TDMA slot reservations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocmap/internal/core"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+	"nocmap/internal/verify"
+)
+
+func main() {
+	// Four cores C1..C4 with two use-cases (Figure 5(a) and 5(b)).
+	design := &traffic.Design{
+		Name:  "fig5",
+		Cores: traffic.MakeCores(4),
+		UseCases: []*traffic.UseCase{
+			{Name: "use-case-1", Flows: []traffic.Flow{
+				{Src: 0, Dst: 1, BandwidthMBs: 10},
+				{Src: 1, Dst: 2, BandwidthMBs: 75},
+				{Src: 2, Dst: 3, BandwidthMBs: 100},
+			}},
+			{Name: "use-case-2", Flows: []traffic.Flow{
+				{Src: 2, Dst: 3, BandwidthMBs: 42},
+				{Src: 0, Dst: 2, BandwidthMBs: 11},
+				{Src: 1, Dst: 3, BandwidthMBs: 52},
+			}},
+		},
+	}
+
+	// Phase 1+2: pre-process (no parallel modes or smooth-switching
+	// constraints here, so every use-case gets its own configuration group).
+	prep, err := usecase.Prepare(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 3: unified mapping and NoC configuration.
+	res, err := core.Map(prep, design.NumCores(), core.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := res.Mapping
+	fmt.Printf("smallest feasible NoC: %s\n\n", m.Topology)
+
+	fmt.Println("shared core placement:")
+	for c := range design.Cores {
+		fmt.Printf("  C%d -> switch %d, NI %d\n", c+1, m.CoreSwitch[c], m.CoreNI[c])
+	}
+
+	for uc, u := range prep.UseCases {
+		fmt.Printf("\nconfiguration of %s:\n", u.Name)
+		for _, f := range u.Flows {
+			a := m.Configs[uc].Assignments[f.Key()]
+			fmt.Printf("  C%d->C%d %6.1f MB/s: %d slots, path %v, starts %v\n",
+				f.Src+1, f.Dst+1, f.BandwidthMBs, a.SlotCount, a.Path, a.Starts)
+		}
+	}
+
+	// The key property of the methodology: both use-cases share the core
+	// placement, but the flow between C3 and C4 holds separate reservations
+	// sized by each use-case's own bandwidth (100 vs 42 MB/s).
+	key := traffic.PairKey{Src: 2, Dst: 3}
+	a1 := m.Configs[0].Assignments[key]
+	a2 := m.Configs[1].Assignments[key]
+	fmt.Printf("\nC3->C4 reservations: %d slots in use-case 1, %d in use-case 2 (independent residual state)\n",
+		a1.SlotCount, a2.SlotCount)
+
+	if vs := verify.Check(m); len(vs) == 0 {
+		fmt.Println("all invariants verified")
+	} else {
+		log.Fatalf("verification failed: %v", vs)
+	}
+}

@@ -1,0 +1,55 @@
+// TV-processor walk-through: the spread-traffic D3 design, comparing the
+// proposed multi-use-case mapping against the worst-case baseline and
+// exploring the area-frequency trade-off of Figure 7(a).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocmap/internal/area"
+	"nocmap/internal/baseline"
+	"nocmap/internal/bench"
+	"nocmap/internal/core"
+	"nocmap/internal/usecase"
+)
+
+func main() {
+	d, err := bench.D3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := core.DefaultParams()
+
+	ours, err := core.Map(prep, d.NumCores(), p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proposed method: %s\n", ours.Mapping.Topology)
+
+	wc, err := baseline.Map(prep, d.NumCores(), p)
+	if err != nil {
+		fmt.Printf("worst-case method: infeasible (%v)\n", err)
+	} else {
+		fmt.Printf("worst-case method: %s — %.1fx more switches\n",
+			wc.Mapping.Topology, float64(wc.Mapping.SwitchCount())/float64(ours.Mapping.SwitchCount()))
+	}
+
+	// Area-frequency trade-off: sweep the operating frequency and report the
+	// smallest feasible NoC and its 0.13um switch area at each point.
+	model := area.DefaultModel()
+	fmt.Println("\narea-frequency trade-off (proposed method):")
+	fmt.Printf("%10s %10s %12s\n", "freq MHz", "switches", "area mm^2")
+	for _, f := range []float64{250, 300, 400, 500, 800, 1200, 1600, 2000} {
+		res, err := core.Map(prep, d.NumCores(), p.WithFrequency(f))
+		if err != nil {
+			fmt.Printf("%10.0f %10s %12s\n", f, "-", "infeasible")
+			continue
+		}
+		fmt.Printf("%10.0f %10d %12.3f\n", f, res.Mapping.SwitchCount(), model.NoCMM2(res.Mapping))
+	}
+}

@@ -1,0 +1,102 @@
+package area
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nocmap/internal/core"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+func TestAnchorPoint(t *testing.T) {
+	m := DefaultModel()
+	got := m.SwitchMM2(6, 500)
+	if math.Abs(got-0.172) > 1e-9 {
+		t.Errorf("6-port @ 500 MHz = %v mm², want 0.172 (Æthereal anchor)", got)
+	}
+}
+
+func TestFrequencyGrowth(t *testing.T) {
+	m := DefaultModel()
+	at500 := m.SwitchMM2(6, 500)
+	at1000 := m.SwitchMM2(6, 1000)
+	at2000 := m.SwitchMM2(6, 2000)
+	if !(at500 < at1000 && at1000 < at2000) {
+		t.Errorf("area not increasing with frequency: %v %v %v", at500, at1000, at2000)
+	}
+	// Below the knee: flat.
+	if m.SwitchMM2(6, 100) != at500 {
+		t.Errorf("area below knee should equal knee area")
+	}
+	// ~1.4x at 2 GHz.
+	if r := at2000 / at500; r < 1.3 || r > 1.5 {
+		t.Errorf("2 GHz growth ratio = %v, want ≈1.4", r)
+	}
+}
+
+func TestPortsScaling(t *testing.T) {
+	m := DefaultModel()
+	if m.SwitchMM2(0, 500) != 0 {
+		t.Error("zero ports should have zero area")
+	}
+	if m.SwitchMM2(4, 500) >= m.SwitchMM2(8, 500) {
+		t.Error("more ports must cost more area")
+	}
+}
+
+func TestMeshMM2CountsPorts(t *testing.T) {
+	m := DefaultModel()
+	// 1x1 mesh with 2 NIs: one switch with 2 ports.
+	want := m.SwitchMM2(2, 500)
+	if got := m.MeshMM2(1, 1, 2, 500); math.Abs(got-want) > 1e-12 {
+		t.Errorf("1x1 = %v, want %v", got, want)
+	}
+	// 2x2 with 2 NIs: four switches, each 2 mesh neighbours + 2 NIs = 4 ports.
+	want = 4 * m.SwitchMM2(4, 500)
+	if got := m.MeshMM2(2, 2, 2, 500); math.Abs(got-want) > 1e-12 {
+		t.Errorf("2x2 = %v, want %v", got, want)
+	}
+	// 3x3: 4 corners (2+2), 4 edges (3+2), 1 centre (4+2).
+	want = 4*m.SwitchMM2(4, 500) + 4*m.SwitchMM2(5, 500) + m.SwitchMM2(6, 500)
+	if got := m.MeshMM2(3, 3, 2, 500); math.Abs(got-want) > 1e-12 {
+		t.Errorf("3x3 = %v, want %v", got, want)
+	}
+}
+
+func TestNoCMM2FromMapping(t *testing.T) {
+	u := &traffic.UseCase{Name: "u", Flows: []traffic.Flow{{Src: 0, Dst: 1, BandwidthMBs: 100}}}
+	d := &traffic.Design{Name: "d", Cores: traffic.MakeCores(2), UseCases: []*traffic.UseCase{u}}
+	pr, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Map(pr, 2, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DefaultModel()
+	got := m.NoCMM2(res.Mapping)
+	want := m.MeshMM2(res.Mapping.Topology.Rows, res.Mapping.Topology.Cols, 2, 500)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NoCMM2 = %v, want %v", got, want)
+	}
+}
+
+// Property: mesh area is monotone in every dimension and in frequency.
+func TestMeshAreaMonotoneProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(raw uint8, df uint8) bool {
+		rows := 1 + int(raw%5)
+		cols := 1 + int(raw/5%5)
+		f1 := 100 + float64(df)*8
+		a := m.MeshMM2(rows, cols, 2, f1)
+		return m.MeshMM2(rows+1, cols, 2, f1) > a &&
+			m.MeshMM2(rows, cols+1, 2, f1) > a &&
+			m.MeshMM2(rows, cols, 2, f1+500) >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nocmap/internal/core"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+func TestWorstCaseCombination(t *testing.T) {
+	u1 := &traffic.UseCase{Name: "a", Flows: []traffic.Flow{
+		{Src: 0, Dst: 1, BandwidthMBs: 100, MaxLatencyNS: 500},
+		{Src: 1, Dst: 2, BandwidthMBs: 50},
+	}}
+	u2 := &traffic.UseCase{Name: "b", Flows: []traffic.Flow{
+		{Src: 0, Dst: 1, BandwidthMBs: 180, MaxLatencyNS: 900},
+		{Src: 2, Dst: 0, BandwidthMBs: 70, MaxLatencyNS: 300},
+	}}
+	wc := WorstCase([]*traffic.UseCase{u1, u2})
+	if wc.Name != WorstCaseName {
+		t.Errorf("name = %q", wc.Name)
+	}
+	if len(wc.Flows) != 3 {
+		t.Fatalf("flows = %d, want 3 (union of pairs)", len(wc.Flows))
+	}
+	f01, _ := wc.FlowByPair(traffic.PairKey{Src: 0, Dst: 1})
+	if f01.BandwidthMBs != 180 || f01.MaxLatencyNS != 500 {
+		t.Errorf("(0,1) = %+v, want max bw 180, min lat 500", f01)
+	}
+	f12, _ := wc.FlowByPair(traffic.PairKey{Src: 1, Dst: 2})
+	if f12.BandwidthMBs != 50 || f12.MaxLatencyNS != 0 {
+		t.Errorf("(1,2) = %+v", f12)
+	}
+}
+
+// Property: the worst-case use-case dominates every constituent flow, and
+// contains exactly the union of the pairs.
+func TestWorstCaseDominatesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		var ucs []*traffic.UseCase
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			u := &traffic.UseCase{Name: "u"}
+			used := map[traffic.PairKey]bool{}
+			for i := 0; i < rng.Intn(10); i++ {
+				s, d := rng.Intn(n), rng.Intn(n)
+				key := traffic.PairKey{Src: traffic.CoreID(s), Dst: traffic.CoreID(d)}
+				if s == d || used[key] {
+					continue
+				}
+				used[key] = true
+				u.Flows = append(u.Flows, traffic.Flow{
+					Src: key.Src, Dst: key.Dst,
+					BandwidthMBs: 1 + rng.Float64()*500,
+					MaxLatencyNS: float64(rng.Intn(2)) * (50 + rng.Float64()*1000),
+				})
+			}
+			ucs = append(ucs, u)
+		}
+		wc := WorstCase(ucs)
+		pairs := map[traffic.PairKey]bool{}
+		for _, u := range ucs {
+			for _, fl := range u.Flows {
+				pairs[fl.Key()] = true
+				w, ok := wc.FlowByPair(fl.Key())
+				if !ok || w.BandwidthMBs < fl.BandwidthMBs {
+					return false
+				}
+				if fl.MaxLatencyNS > 0 && (w.MaxLatencyNS <= 0 || w.MaxLatencyNS > fl.MaxLatencyNS) {
+					return false
+				}
+			}
+		}
+		return len(wc.Flows) == len(pairs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapWorstCaseNeverSmaller(t *testing.T) {
+	// Two use-cases with disjoint heavy traffic: per-use-case mapping fits a
+	// single switch, the WC union must not be smaller.
+	mk := func(name string, off int) *traffic.UseCase {
+		return &traffic.UseCase{Name: name, Flows: []traffic.Flow{
+			{Src: traffic.CoreID(off), Dst: traffic.CoreID(off + 1), BandwidthMBs: 1500},
+			{Src: traffic.CoreID(off + 1), Dst: traffic.CoreID(off), BandwidthMBs: 1500},
+		}}
+	}
+	d := &traffic.Design{
+		Name:  "d",
+		Cores: traffic.MakeCores(8),
+		UseCases: []*traffic.UseCase{
+			mk("a", 0), mk("b", 2), mk("c", 4), mk("d", 6),
+		},
+	}
+	pr, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	ours, err := core.Map(pr, 8, p)
+	if err != nil {
+		t.Fatalf("proposed method: %v", err)
+	}
+	wc, err := Map(pr, 8, p)
+	if err != nil {
+		t.Fatalf("WC method: %v", err)
+	}
+	if wc.Mapping.SwitchCount() < ours.Mapping.SwitchCount() {
+		t.Errorf("WC smaller than proposed: %d < %d", wc.Mapping.SwitchCount(), ours.Mapping.SwitchCount())
+	}
+	// Here the disjoint union forces the WC method to spread: it must be
+	// strictly larger than the per-use-case design.
+	if wc.Mapping.SwitchCount() == ours.Mapping.SwitchCount() {
+		t.Errorf("WC should need more switches: both %d", wc.Mapping.SwitchCount())
+	}
+}
+
+func TestMapWorstCaseInfeasibleWhenOverSpecified(t *testing.T) {
+	// Twenty use-cases each pushing 800 MB/s from a distinct core into core
+	// 0. The per-pair worst-case union needs 20*800 = 16000 MB/s into one
+	// core's NI: infeasible at any mesh size. The proposed method fits.
+	var ucs []*traffic.UseCase
+	for i := 1; i <= 20; i++ {
+		ucs = append(ucs, &traffic.UseCase{
+			Name:  "u" + string(rune('a'+i-1)),
+			Flows: []traffic.Flow{{Src: traffic.CoreID(i), Dst: 0, BandwidthMBs: 800}},
+		})
+	}
+	d := &traffic.Design{Name: "hot", Cores: traffic.MakeCores(21), UseCases: ucs}
+	pr, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.MaxMeshDim = 6
+	if _, err := core.Map(pr, 21, p); err != nil {
+		t.Fatalf("proposed method should fit: %v", err)
+	}
+	if _, err := Map(pr, 21, p); err == nil {
+		t.Fatal("WC method should be infeasible")
+	}
+}

@@ -1,0 +1,436 @@
+// Package bench provides the experimental workloads of Section 6.1: four
+// SoC-design stand-ins (D1-D4) and the two synthetic benchmark families —
+// Spread (Sp) and Bottleneck (Bot).
+//
+// The real D1-D4 traffic specifications (Philips Viper2 set-top box and TV
+// processor) are proprietary; the paper discloses only their structural
+// properties, which these generators reproduce:
+//
+//   - The set-top box designs (D1 with 4 use-cases, D2 with 20) use an
+//     external memory: "the amount of data communicated to the memory is
+//     very large when compared to the rest of the design" — bottleneck
+//     traffic through designated memory-controller cores.
+//   - The TV processor designs (D3 with 8 use-cases, D4 with 20) use "a
+//     streaming architecture with local memories on the chip, thereby
+//     distributing the communication load" — spread traffic.
+//   - "Each use-case has a large number of (50 to 150) communicating pairs."
+//   - Traffic parameters fall into 3-4 clusters (HD video at hundreds of
+//     MB/s, SD video at tens, audio low-bandwidth, control low-bandwidth but
+//     latency-critical), "with small deviations in the values within each
+//     cluster".
+//
+// The generators model a stream's type as a property of the core pair: a
+// video-input port sends HD frames in every use-case that activates it. Each
+// design therefore has a fixed set of potential pairs, each with a fixed
+// cluster and base rate; a use-case activates a subset of the pairs and
+// draws its rate with a small in-cluster deviation. This matches the quote
+// above and produces the paper's scaling behaviour: as use-cases accumulate,
+// the worst-case union covers ever more pairs at ever higher per-pair
+// maxima, while any single use-case stays cheap.
+//
+// The synthetic Sp/Bot benchmarks fix 20 cores with 60-100 connections per
+// use-case and vary the use-case count, exactly as in Section 6.2.
+//
+// All generation is deterministic given the seed.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocmap/internal/traffic"
+)
+
+// Class selects the synthetic communication structure.
+type Class int
+
+const (
+	// Spread traffic: every core communicates with a few fixed peers.
+	Spread Class = iota
+	// Bottleneck traffic: most streams touch one of a few hotspot cores.
+	Bottleneck
+)
+
+func (c Class) String() string {
+	if c == Bottleneck {
+		return "Bot"
+	}
+	return "Sp"
+}
+
+// cluster is one traffic class of the paper's value model.
+type cluster struct {
+	name  string
+	loMBs float64
+	hiMBs float64
+	loLat float64 // ns; 0 = unconstrained
+	hiLat float64
+}
+
+var clusterTable = []cluster{
+	{name: "hd", loMBs: 150, hiMBs: 300},
+	{name: "sd", loMBs: 30, hiMBs: 60},
+	{name: "audio", loMBs: 5, hiMBs: 15},
+	{name: "control", loMBs: 1, hiMBs: 5, loLat: 900, hiLat: 2500},
+}
+
+const (
+	clHD = iota
+	clSD
+	clAudio
+	clControl
+)
+
+// stream is one potential directed pair with its fixed type and base rate.
+type stream struct {
+	key     traffic.PairKey
+	cluster int
+	baseMBs float64
+	latNS   float64
+	// hot marks streams touching a hotspot core; they are activated with
+	// HotActive probability instead of Active.
+	hot bool
+	// burstable SD streams may run in peak mode (see SynthSpec.BurstProb).
+	// At most two burstable streams source from or sink at any one core, so
+	// no core's worst-case union can outgrow its NI link — worst-case
+	// infeasibility is a property of the whole mesh, not of a single port.
+	burstable bool
+}
+
+// SynthSpec fully parameterizes a synthetic design.
+type SynthSpec struct {
+	Name     string
+	Class    Class
+	Cores    int
+	UseCases int
+	// MinPairs/MaxPairs bound the communicating pairs per use-case.
+	MinPairs int
+	MaxPairs int
+	// OutDegree is each core's number of potential outgoing streams
+	// (Spread class; also the background traffic of Bottleneck designs).
+	OutDegree int
+	// HDPerCore caps how many of a core's potential streams are HD.
+	HDPerCore int
+	// Hotspots is the number of bottleneck cores (Bottleneck class only).
+	// Every other core gets one stream to and one from each hotspot.
+	Hotspots int
+	// HotCoverage is the fraction of regular cores attached to each hotspot
+	// (not every IP block exchanges data with the external memory). Zero
+	// means all of them.
+	HotCoverage float64
+	// HotActive is the per-use-case activation probability of hotspot
+	// streams (bottleneck traffic recurs in almost every mode).
+	HotActive float64
+	// Active is the activation probability of background streams; when the
+	// pair budget of a use-case is not met, more streams are activated.
+	Active float64
+	// Deviation is the relative in-cluster rate deviation per use-case.
+	Deviation float64
+	// BurstProb is the per-use-case probability that an active SD stream
+	// runs in peak mode (HD-class rate) — e.g. a scaler fed with
+	// double-rate content. Bursts are what make the worst-case union keep
+	// growing long after pair coverage saturates: the more use-cases, the
+	// more pairs have seen a peak draw.
+	BurstProb float64
+	// LightShare is the fraction of use-cases that are light modes (standby,
+	// audio playback, EPG browsing): they activate no HD streams and no
+	// bursts, so they run at a far lower NoC frequency — the headroom
+	// DVS/DFS converts into power savings (Section 6.4). Light use-cases
+	// are assigned deterministically (every ceil(1/LightShare)-th use-case),
+	// so every design gets its share regardless of size.
+	LightShare float64
+	Seed       int64
+}
+
+// SpreadSpec is the Sp benchmark of Section 6.2: 20 cores, 60-100
+// connections per use-case.
+func SpreadSpec(useCases int, seed int64) SynthSpec {
+	return SynthSpec{
+		Name:      fmt.Sprintf("Sp-%duc", useCases),
+		Class:     Spread,
+		Cores:     20,
+		UseCases:  useCases,
+		MinPairs:  60,
+		MaxPairs:  100,
+		OutDegree: 12,
+		HDPerCore: 2,
+		Active:    0.32,
+		Deviation: 0.25,
+		BurstProb: 0.10,
+		Seed:      seed,
+	}
+}
+
+// BottleneckSpec is the Bot benchmark of Section 6.2.
+func BottleneckSpec(useCases int, seed int64) SynthSpec {
+	return SynthSpec{
+		Name:        fmt.Sprintf("Bot-%duc", useCases),
+		Class:       Bottleneck,
+		Cores:       20,
+		UseCases:    useCases,
+		MinPairs:    60,
+		MaxPairs:    100,
+		OutDegree:   8,
+		HDPerCore:   2,
+		Hotspots:    2,
+		HotCoverage: 0.85,
+		HotActive:   0.55,
+		Active:      0.3,
+		Deviation:   0.25,
+		BurstProb:   0.10,
+		Seed:        seed,
+	}
+}
+
+// Synthetic generates a deterministic design from the spec.
+func Synthetic(spec SynthSpec) (*traffic.Design, error) {
+	if spec.Cores < 3 || spec.UseCases < 1 {
+		return nil, fmt.Errorf("bench: spec needs >=3 cores and >=1 use-case, got %d/%d", spec.Cores, spec.UseCases)
+	}
+	if spec.MinPairs < 1 || spec.MaxPairs < spec.MinPairs {
+		return nil, fmt.Errorf("bench: pair bounds [%d,%d] invalid", spec.MinPairs, spec.MaxPairs)
+	}
+	if spec.OutDegree < 1 || spec.OutDegree >= spec.Cores {
+		return nil, fmt.Errorf("bench: out-degree %d invalid for %d cores", spec.OutDegree, spec.Cores)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	streams := buildStreams(rng, spec)
+	if len(streams) < spec.MaxPairs {
+		return nil, fmt.Errorf("bench: only %d potential streams for %d requested pairs", len(streams), spec.MaxPairs)
+	}
+	d := &traffic.Design{Name: spec.Name, Cores: traffic.MakeCores(spec.Cores)}
+	for u := 0; u < spec.UseCases; u++ {
+		target := spec.MinPairs
+		if spec.MaxPairs > spec.MinPairs {
+			target += rng.Intn(spec.MaxPairs - spec.MinPairs + 1)
+		}
+		light := false
+		if spec.LightShare > 0 {
+			period := int(1/spec.LightShare + 0.5)
+			if period < 1 {
+				period = 1
+			}
+			light = u%period == period-1
+		}
+		name := fmt.Sprintf("uc%02d", u)
+		if light {
+			name += "-light"
+		}
+		if light {
+			target = spec.MinPairs / 2
+		}
+		d.UseCases = append(d.UseCases, genUseCase(rng, name, spec, streams, target, light))
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: generated design invalid: %w", err)
+	}
+	return d, nil
+}
+
+// buildStreams lays out the design's fixed potential pairs with their stream
+// types.
+func buildStreams(rng *rand.Rand, spec SynthSpec) []stream {
+	var streams []stream
+	used := make(map[traffic.PairKey]bool)
+	add := func(src, dst, cl int, hot bool) {
+		key := traffic.PairKey{Src: traffic.CoreID(src), Dst: traffic.CoreID(dst)}
+		if src == dst || used[key] {
+			return
+		}
+		used[key] = true
+		c := clusterTable[cl]
+		s := stream{
+			key:     key,
+			cluster: cl,
+			baseMBs: c.loMBs + rng.Float64()*(c.hiMBs-c.loMBs),
+			hot:     hot,
+		}
+		if c.hiLat > 0 {
+			s.latNS = c.loLat + rng.Float64()*(c.hiLat-c.loLat)
+		}
+		streams = append(streams, s)
+	}
+	// Bottleneck designs: regular cores exchange one stream each way with
+	// each hotspot they are attached to. Stream types are stratified
+	// deterministically so the union of all potential memory streams always
+	// fits the memory controller's single NI link: frame traffic dominates
+	// in aggregate (the paper: memory traffic is "very large when compared
+	// to the rest of the design") without unlucky seeds oversubscribing the
+	// port.
+	if spec.Class == Bottleneck && spec.Hotspots > 0 {
+		cov := spec.HotCoverage
+		if cov <= 0 || cov > 1 {
+			cov = 1
+		}
+		var attached []int
+		for c := spec.Hotspots; c < spec.Cores; c++ {
+			if rng.Float64() < cov {
+				attached = append(attached, c)
+			}
+		}
+		for h := 0; h < spec.Hotspots; h++ {
+			for i, c := range attached {
+				add(c, h, hotCluster(i, len(attached)), true)
+				add(h, c, hotCluster(i+1, len(attached)), true)
+			}
+		}
+	}
+	// Background / spread streams: per core, OutDegree fixed peers with a
+	// bounded number of HD streams. In-degree is capped as well, so no
+	// core's union ingress outgrows its NI link. Hotspot cores carry no
+	// background streams — all traffic of a memory controller is the hot
+	// traffic above, keeping its port union bounded.
+	hotCores := 0
+	if spec.Class == Bottleneck {
+		hotCores = spec.Hotspots
+	}
+	inDeg := make([]int, spec.Cores)
+	hdIn := make([]int, spec.Cores)
+	inCap := spec.OutDegree + 1
+	for c := hotCores; c < spec.Cores; c++ {
+		perm := rng.Perm(spec.Cores)
+		hd := 0
+		added := 0
+		for _, dst := range perm {
+			if added >= spec.OutDegree {
+				break
+			}
+			if dst == c || dst < hotCores || inDeg[dst] >= inCap {
+				continue
+			}
+			cl := backgroundCluster(rng)
+			if cl == clHD && (hd >= spec.HDPerCore || hdIn[dst] >= spec.HDPerCore) {
+				cl = clSD
+			}
+			before := len(streams)
+			add(c, dst, cl, false)
+			if len(streams) > before {
+				inDeg[dst]++
+				added++
+				if cl == clHD {
+					hd++
+					hdIn[dst]++
+				}
+			}
+		}
+	}
+	// Mark burstable SD streams, at most two per core in each direction.
+	burstOut := make([]int, spec.Cores)
+	burstIn := make([]int, spec.Cores)
+	for i := range streams {
+		st := &streams[i]
+		if st.cluster != clSD || st.hot {
+			continue
+		}
+		if burstOut[st.key.Src] < 2 && burstIn[st.key.Dst] < 2 {
+			st.burstable = true
+			burstOut[st.key.Src]++
+			burstIn[st.key.Dst]++
+		}
+	}
+	return streams
+}
+
+// hotCluster stratifies memory-stream types: of n streams through a memory
+// port, roughly 15% are HD frames, 40% SD, 30% audio and the rest control —
+// assigned round-robin so every seed carries the same aggregate mix and the
+// port's union demand stays bounded.
+func hotCluster(i, n int) int {
+	if n <= 0 {
+		return clSD
+	}
+	switch {
+	case 20*i < 3*n: // first 15%
+		return clHD
+	case 20*i < 11*n: // next 40%
+		return clSD
+	case 20*i < 17*n: // next 30%
+		return clAudio
+	default:
+		return clControl
+	}
+}
+
+// backgroundCluster draws the type of a regular stream with the paper's
+// cluster mix.
+func backgroundCluster(rng *rand.Rand) int {
+	r := rng.Float64()
+	switch {
+	case r < 0.20:
+		return clHD
+	case r < 0.55:
+		return clSD
+	case r < 0.80:
+		return clAudio
+	default:
+		return clControl
+	}
+}
+
+// genUseCase activates a subset of the potential streams for one use-case
+// and draws per-use-case rates with the in-cluster deviation. Light
+// use-cases exclude HD streams and peak modes entirely.
+func genUseCase(rng *rand.Rand, name string, spec SynthSpec, streams []stream, target int, light bool) *traffic.UseCase {
+	uc := &traffic.UseCase{Name: name}
+	// Light modes carry control, audio and a little SD traffic — no HD.
+	eligible := func(s stream) bool {
+		if !light {
+			return true
+		}
+		return s.cluster == clAudio || s.cluster == clControl || (s.cluster == clSD && !s.burstable)
+	}
+	active := make([]bool, len(streams))
+	count := 0
+	// First pass: probabilistic activation.
+	for i, s := range streams {
+		if !eligible(s) {
+			continue
+		}
+		p := spec.Active
+		if s.hot {
+			p = spec.HotActive
+		}
+		if rng.Float64() < p {
+			active[i] = true
+			count++
+		}
+	}
+	// Adjust to the pair budget deterministically.
+	order := rng.Perm(len(streams))
+	for _, i := range order {
+		if count >= target {
+			break
+		}
+		if !active[i] && eligible(streams[i]) {
+			active[i] = true
+			count++
+		}
+	}
+	for _, i := range order {
+		if count <= target {
+			break
+		}
+		if active[i] {
+			active[i] = false
+			count--
+		}
+	}
+	for i, s := range streams {
+		if !active[i] {
+			continue
+		}
+		dev := 1 + spec.Deviation*(2*rng.Float64()-1)
+		bw := s.baseMBs * dev
+		if s.burstable && !light && spec.BurstProb > 0 && rng.Float64() < spec.BurstProb {
+			hd := clusterTable[clHD]
+			bw = (hd.loMBs + rng.Float64()*(hd.hiMBs-hd.loMBs)) * dev
+		}
+		uc.Flows = append(uc.Flows, traffic.Flow{
+			Src: s.key.Src, Dst: s.key.Dst,
+			BandwidthMBs: bw,
+			MaxLatencyNS: s.latNS,
+		})
+	}
+	uc.SortFlows()
+	return uc
+}

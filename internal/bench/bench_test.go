@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"nocmap/internal/traffic"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(SpreadSpec(5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(SpreadSpec(5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different designs")
+	}
+	c, err := Synthetic(SpreadSpec(5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.UseCases[0].Flows, c.UseCases[0].Flows) {
+		t.Error("different seeds produced identical flows")
+	}
+}
+
+func TestSyntheticShape(t *testing.T) {
+	d, err := Synthetic(SpreadSpec(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cores) != 20 || len(d.UseCases) != 10 {
+		t.Fatalf("shape = %d cores, %d use-cases", len(d.Cores), len(d.UseCases))
+	}
+	for _, u := range d.UseCases {
+		if len(u.Flows) < 60 || len(u.Flows) > 100 {
+			t.Errorf("use-case %q has %d pairs, want 60-100", u.Name, len(u.Flows))
+		}
+		if err := u.Validate(20); err != nil {
+			t.Errorf("generated use-case invalid: %v", err)
+		}
+	}
+}
+
+func TestSyntheticClusters(t *testing.T) {
+	d, err := Synthetic(SpreadSpec(20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hd, control, latencyConstrained int
+	total := 0
+	for _, u := range d.UseCases {
+		for _, f := range u.Flows {
+			total++
+			if f.BandwidthMBs >= 150 {
+				hd++
+			}
+			if f.BandwidthMBs <= 5 {
+				control++
+			}
+			if f.MaxLatencyNS > 0 {
+				latencyConstrained++
+				// Control streams: <= 5 MB/s base plus 25% deviation.
+				if f.BandwidthMBs > 5*1.25 {
+					t.Errorf("latency constraint on non-control flow (%.1f MB/s)", f.BandwidthMBs)
+				}
+			}
+		}
+	}
+	// Cluster weights: HD ≈ 15%, control ≈ 20%.
+	if frac := float64(hd) / float64(total); frac < 0.08 || frac > 0.25 {
+		t.Errorf("HD fraction = %v, want ≈0.15", frac)
+	}
+	if latencyConstrained == 0 {
+		t.Error("no latency-critical control flows generated")
+	}
+}
+
+func TestBottleneckStructure(t *testing.T) {
+	d, err := Synthetic(BottleneckSpec(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Most of the communication" means bandwidth share: the hotspot cores
+	// must carry a large share of the total traffic volume, and a
+	// substantial share of the flow count.
+	var hotBW, totBW float64
+	touching, total := 0, 0
+	for _, u := range d.UseCases {
+		for _, f := range u.Flows {
+			total++
+			totBW += f.BandwidthMBs
+			if f.Src < 2 || f.Dst < 2 {
+				touching++
+				hotBW += f.BandwidthMBs
+			}
+		}
+	}
+	if frac := hotBW / totBW; frac < 0.35 {
+		t.Errorf("hotspot bandwidth fraction = %v, want >= 0.35", frac)
+	}
+	if frac := float64(touching) / float64(total); frac < 0.3 {
+		t.Errorf("hotspot flow fraction = %v, want >= 0.3", frac)
+	}
+}
+
+func TestSpreadHasNoDesignatedHotspot(t *testing.T) {
+	d, err := Synthetic(SpreadSpec(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In spread traffic no single core should dominate: count per-core flow
+	// endpoints and compare max to mean.
+	counts := make([]int, 20)
+	total := 0
+	for _, u := range d.UseCases {
+		for _, f := range u.Flows {
+			counts[f.Src]++
+			counts[f.Dst]++
+			total += 2
+		}
+	}
+	mean := float64(total) / 20
+	for c, n := range counts {
+		if float64(n) > 2.2*mean {
+			t.Errorf("core %d touches %d flows, mean %v — spread benchmark has a hotspot", c, n, mean)
+		}
+	}
+}
+
+func TestSyntheticRejectsBadSpecs(t *testing.T) {
+	bad := []SynthSpec{
+		{Cores: 2, UseCases: 1, MinPairs: 1, MaxPairs: 1, OutDegree: 1},
+		{Cores: 5, UseCases: 0, MinPairs: 1, MaxPairs: 1, OutDegree: 1},
+		{Cores: 5, UseCases: 1, MinPairs: 0, MaxPairs: 1, OutDegree: 1},
+		{Cores: 5, UseCases: 1, MinPairs: 5, MaxPairs: 2, OutDegree: 1},
+		{Cores: 5, UseCases: 1, MinPairs: 1, MaxPairs: 100, OutDegree: 2}, // only 10 streams exist
+		{Cores: 5, UseCases: 1, MinPairs: 1, MaxPairs: 2, OutDegree: 0},
+		{Cores: 5, UseCases: 1, MinPairs: 1, MaxPairs: 2, OutDegree: 5}, // degree must be < cores
+	}
+	for i, s := range bad {
+		if _, err := Synthetic(s); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestSoCDesigns(t *testing.T) {
+	cases := []struct {
+		name     string
+		gen      func() (*traffic.Design, error)
+		cores    int
+		useCases int
+	}{
+		{"D1", D1, 26, 4},
+		{"D2", D2, 26, 20},
+		{"D3", D3, 24, 8},
+		{"D4", D4, 24, 20},
+	}
+	for _, tc := range cases {
+		d, err := tc.gen()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(d.Cores) != tc.cores || len(d.UseCases) != tc.useCases {
+			t.Errorf("%s shape = %d cores %d use-cases, want %d/%d",
+				tc.name, len(d.Cores), len(d.UseCases), tc.cores, tc.useCases)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", tc.name, err)
+		}
+		for _, u := range d.UseCases {
+			lo := 50
+			if strings.HasSuffix(u.Name, "-light") {
+				lo = 20 // standby/audio modes carry fewer streams
+			}
+			if len(u.Flows) < lo || len(u.Flows) > 150 {
+				t.Errorf("%s use-case %q has %d pairs, want %d-150", tc.name, u.Name, len(u.Flows), lo)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"D1", "D2", "D3", "D4"} {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("ByName(%s): %v", n, err)
+		}
+	}
+	if _, err := ByName("D9"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSettopboxIsBottleneckHeavy(t *testing.T) {
+	d, err := D1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory-controller cores must carry a large share of total bandwidth.
+	var memBW, totBW float64
+	for _, u := range d.UseCases {
+		for _, f := range u.Flows {
+			totBW += f.BandwidthMBs
+			if f.Src < 2 || f.Dst < 2 {
+				memBW += f.BandwidthMBs
+			}
+		}
+	}
+	// Memory streams carry the largest single share of traffic; background
+	// streams are spread over 24 cores, so per-core the memory dominates.
+	if frac := memBW / totBW; frac < 0.35 {
+		t.Errorf("memory traffic fraction = %v, want >= 0.35", frac)
+	}
+	if d.Cores[0].Name != "extmem" {
+		t.Errorf("core 0 name = %q", d.Cores[0].Name)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Spread.String() != "Sp" || Bottleneck.String() != "Bot" {
+		t.Error("Class.String wrong")
+	}
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+
+	"nocmap/internal/traffic"
+)
+
+// The D1-D4 SoC design stand-ins. Sizes and structure follow the paper:
+// D1/D2 are set-top box designs (external-memory bottleneck, 4 and 20
+// use-cases), D3/D4 are TV-processor designs (streaming, spread, 8 and 20
+// use-cases). D2 and D4 "are based on scaled versions of the designs D1 and
+// D3 for supporting more use-cases" — the generators share structure and
+// seed families with their small siblings.
+
+// D1 is the 4-use-case set-top box SoC [11]: 26 cores around two memory
+// controllers (external memory traffic dominates).
+func D1() (*traffic.Design, error) {
+	return settopbox("D1-settopbox-4uc", 4, 41)
+}
+
+// D2 is the 20-use-case set-top box SoC.
+func D2() (*traffic.Design, error) {
+	return settopbox("D2-settopbox-20uc", 20, 42)
+}
+
+// D3 is the 8-use-case TV-processor SoC: 24 cores in streaming pipelines
+// with local memories.
+func D3() (*traffic.Design, error) {
+	return tvprocessor("D3-tvprocessor-8uc", 8, 43)
+}
+
+// D4 is the 20-use-case TV-processor SoC.
+func D4() (*traffic.Design, error) {
+	return tvprocessor("D4-tvprocessor-20uc", 20, 44)
+}
+
+// ByName returns one of D1-D4 or a synthetic family member.
+func ByName(name string) (*traffic.Design, error) {
+	switch name {
+	case "D1":
+		return D1()
+	case "D2":
+		return D2()
+	case "D3":
+		return D3()
+	case "D4":
+		return D4()
+	default:
+		return nil, fmt.Errorf("bench: unknown design %q (have D1-D4)", name)
+	}
+}
+
+// settopbox generates a bottleneck-structured SoC: 26 cores, cores 0-1 are
+// the memory/peripheral controllers carrying most traffic.
+func settopbox(name string, useCases int, seed int64) (*traffic.Design, error) {
+	d, err := Synthetic(SynthSpec{
+		Name:        name,
+		Class:       Bottleneck,
+		Cores:       26,
+		UseCases:    useCases,
+		MinPairs:    50,
+		MaxPairs:    90,
+		OutDegree:   5,
+		HDPerCore:   1,
+		Hotspots:    2,
+		HotCoverage: 0.7,
+		HotActive:   0.65,
+		Active:      0.45,
+		Deviation:   0.25,
+		BurstProb:   0.08,
+		LightShare:  0.25,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nameCores(d, []string{"extmem", "periph"})
+	return d, nil
+}
+
+// tvprocessor generates a spread-structured SoC: 24 cores with streaming
+// pipelines and distributed local memories.
+func tvprocessor(name string, useCases int, seed int64) (*traffic.Design, error) {
+	d, err := Synthetic(SynthSpec{
+		Name:       name,
+		Class:      Spread,
+		Cores:      24,
+		UseCases:   useCases,
+		MinPairs:   60,
+		MaxPairs:   110,
+		OutDegree:  10,
+		HDPerCore:  2,
+		Active:     0.28,
+		Deviation:  0.22,
+		BurstProb:  0.05,
+		LightShare: 0.25,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nameCores(d, nil)
+	return d, nil
+}
+
+// nameCores gives the first cores domain names and the rest generic ones.
+func nameCores(d *traffic.Design, special []string) {
+	for i := range d.Cores {
+		if i < len(special) {
+			d.Cores[i].Name = special[i]
+		} else {
+			d.Cores[i].Name = fmt.Sprintf("ip%02d", i)
+		}
+	}
+}

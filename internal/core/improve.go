@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math/rand"
+
+	"nocmap/internal/tdma"
+	"nocmap/internal/topology"
+	"nocmap/internal/usecase"
+)
+
+// improve is the placement-refinement pass (extension X1). The paper notes
+// that after the constructive mapping "the solution space can be explored
+// further by considering swapping of vertices using simulated annealing or
+// tabu search" [19]. This implementation performs deterministic greedy
+// hill-climbing: candidate core swaps are proposed from a seeded PRNG, the
+// configuration phase is re-run with the swapped placement, and the swap is
+// kept only when it remains feasible and strictly lowers the
+// bandwidth-weighted mesh hop count.
+func improve(m *Mapping, states []*tdma.State, prep *usecase.Prepared, numCores int, p Params) (*Mapping, []*tdma.State) {
+	iters := p.ImproveIters
+	if iters <= 0 {
+		return m, states
+	}
+	rng := rand.New(rand.NewSource(1)) // fixed seed: runs are reproducible
+	best := m
+	bestStates := states
+	bestCost := computeStats(best, bestStates).AvgMeshHops
+
+	// Collect attached cores once; swaps permute their switch/NI seats.
+	var attached []int
+	for c, s := range m.CoreSwitch {
+		if s >= 0 {
+			attached = append(attached, c)
+		}
+	}
+	if len(attached) < 2 {
+		return m, states
+	}
+	dim := topology.Dim{Rows: best.Topology.Rows, Cols: best.Topology.Cols}
+	for it := 0; it < iters; it++ {
+		a := attached[rng.Intn(len(attached))]
+		b := attached[rng.Intn(len(attached))]
+		if a == b || best.CoreSwitch[a] == best.CoreSwitch[b] {
+			continue
+		}
+		cs := append([]int(nil), best.CoreSwitch...)
+		cn := append([]int(nil), best.CoreNI...)
+		cs[a], cs[b] = cs[b], cs[a]
+		cn[a], cn[b] = cn[b], cn[a]
+		cand, candStates, err := attemptMap(prep, numCores, dim, p, &placementFix{CoreSwitch: cs, CoreNI: cn})
+		if err != nil {
+			continue
+		}
+		if cost := computeStats(cand, candStates).AvgMeshHops; cost < bestCost-1e-12 {
+			best, bestStates, bestCost = cand, candStates, cost
+		}
+	}
+	return best, bestStates
+}

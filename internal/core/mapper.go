@@ -1,0 +1,826 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nocmap/internal/route"
+	"nocmap/internal/tdma"
+	"nocmap/internal/topology"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+// Map runs the full methodology on pre-processed use-cases: the outer loop
+// walks the mesh growth sequence (Algorithm 2, steps 1 and 8) and the inner
+// loop performs the unified mapping, path selection and slot reservation
+// (steps 2-7). It returns the smallest feasible mapping.
+func Map(prep *usecase.Prepared, numCores int, p Params) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateInput(prep, numCores); err != nil {
+		return nil, err
+	}
+	active := activeCores(prep, numCores)
+	var attempts []Attempt
+	var lastErr error
+	for _, dim := range topology.GrowthSequence(p.MaxMeshDim) {
+		if dim.Switches()*p.CoresPerSwitch() < active {
+			attempts = append(attempts, Attempt{Dim: dim, Skipped: true})
+			continue
+		}
+		m, states, err := attemptMap(prep, numCores, dim, p, nil)
+		if err != nil {
+			attempts = append(attempts, Attempt{Dim: dim, Err: err.Error()})
+			lastErr = err
+			continue
+		}
+		attempts = append(attempts, Attempt{Dim: dim})
+		if p.Improve {
+			m, states = improve(m, states, prep, numCores, p)
+		}
+		return &Result{Mapping: m, Attempts: attempts, Stats: computeStats(m, states)}, nil
+	}
+	return nil, &InfeasibleError{MaxDim: p.MaxMeshDim, Attempts: attempts, Last: lastErr}
+}
+
+// ConfigureFixed re-runs only the configuration phase (path selection and
+// slot reservation) on an existing placement, typically at a different
+// frequency. It is the primitive behind the DVS/DFS and parallel-mode
+// frequency searches.
+func ConfigureFixed(prep *usecase.Prepared, numCores int, top *topology.Topology,
+	coreSwitch, coreNI []int, p Params) (*Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateInput(prep, numCores); err != nil {
+		return nil, err
+	}
+	fix := &placementFix{CoreSwitch: coreSwitch, CoreNI: coreNI}
+	m, _, err := attemptMap(prep, numCores, topology.Dim{Rows: top.Rows, Cols: top.Cols}, p, fix)
+	return m, err
+}
+
+// InfeasibleError reports that no mesh up to the size cap could satisfy
+// every use-case — the outcome the paper reports for the WC method on the
+// 40-use-case benchmarks.
+type InfeasibleError struct {
+	MaxDim   int
+	Attempts []Attempt
+	Last     error
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("core: no feasible mapping up to %dx%d mesh (last: %v)", e.MaxDim, e.MaxDim, e.Last)
+}
+
+func validateInput(prep *usecase.Prepared, numCores int) error {
+	if prep == nil || len(prep.UseCases) == 0 {
+		return fmt.Errorf("core: no use-cases")
+	}
+	for _, u := range prep.UseCases {
+		if err := u.Validate(numCores); err != nil {
+			return err
+		}
+	}
+	if len(prep.GroupOf) != len(prep.UseCases) {
+		return fmt.Errorf("core: prepared groups inconsistent with use-cases")
+	}
+	return nil
+}
+
+// activeCores counts cores that appear in at least one flow; only they need
+// NI attachment.
+func activeCores(prep *usecase.Prepared, numCores int) int {
+	seen := make([]bool, numCores)
+	n := 0
+	for _, u := range prep.UseCases {
+		for _, f := range u.Flows {
+			for _, c := range []traffic.CoreID{f.Src, f.Dst} {
+				if !seen[c] {
+					seen[c] = true
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// placementFix pins the core placement for configuration-only runs.
+type placementFix struct {
+	CoreSwitch []int
+	CoreNI     []int
+}
+
+// flowInst is one flow occurrence in the global work list.
+type flowInst struct {
+	uc   int
+	idx  int
+	bw   float64
+	lat  float64
+	key  traffic.PairKey
+	done bool
+}
+
+// mapper carries the working state of one attempt on one topology.
+type mapper struct {
+	prep *usecase.Prepared
+	p    Params
+	top  *topology.Topology
+
+	meshLinks  int
+	totalLinks int
+
+	// One residual state and one configuration per smooth-switching group:
+	// group members share a single NoC configuration (paper Section 4), so a
+	// reservation made for any member occupies slots for all of them. With
+	// no smooth-switching constraints every group is a singleton and this
+	// degenerates to the per-use-case data structures of Algorithm 2.
+	states  []*tdma.State
+	configs []map[traffic.PairKey]*Assignment
+
+	coreSwitch  []int
+	coreNI      []int
+	switchCores []int
+	niCores     []int
+
+	flows  []flowInst
+	byPair map[traffic.PairKey][]int
+
+	// pairSlots caches, per group and pair, the bandwidth-driven slot count
+	// of the group's heaviest same-pair flow. remOut/remIn hold, per group
+	// and core, the not-yet-reserved slot demand the core will still source
+	// or sink. Projected NI occupancy (current reservations + remaining
+	// demand of the NI's cores) steers placement: greedy per-flow decisions
+	// would otherwise co-locate cores whose later flows overrun the NI.
+	pairSlots []map[traffic.PairKey]int
+	remOut    [][]int
+	remIn     [][]int
+
+	journal   []resRecord
+	nextOwner int32
+}
+
+type resRecord struct {
+	group  int
+	owner  int32
+	path   []int
+	start  []int
+	key    traffic.PairKey
+	demand int
+}
+
+type placement struct {
+	placeSrc, placeDst bool
+	srcSwitch          int
+	dstSwitch          int
+	src, dst           traffic.CoreID
+}
+
+func attemptMap(prep *usecase.Prepared, numCores int, dim topology.Dim, p Params, fix *placementFix) (*Mapping, []*tdma.State, error) {
+	top, err := topology.NewMesh(dim.Rows, dim.Cols, p.CoresPerSwitch())
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &mapper{prep: prep, p: p, top: top}
+	m.meshLinks = top.NumLinks()
+	m.totalLinks = m.meshLinks + 2*top.NumSwitches()*p.NIsPerSwitch
+	m.states = make([]*tdma.State, len(prep.Groups))
+	m.configs = make([]map[traffic.PairKey]*Assignment, len(prep.Groups))
+	for g := range prep.Groups {
+		st, err := tdma.NewState(m.totalLinks, p.SlotTableSize)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.states[g] = st
+		m.configs[g] = make(map[traffic.PairKey]*Assignment)
+	}
+	m.coreSwitch = make([]int, numCores)
+	m.coreNI = make([]int, numCores)
+	for i := range m.coreSwitch {
+		m.coreSwitch[i] = -1
+		m.coreNI[i] = -1
+	}
+	m.switchCores = make([]int, top.NumSwitches())
+	m.niCores = make([]int, top.NumSwitches()*p.NIsPerSwitch)
+	if fix != nil {
+		if len(fix.CoreSwitch) != numCores || len(fix.CoreNI) != numCores {
+			return nil, nil, fmt.Errorf("core: fixed placement has wrong length")
+		}
+		for c := 0; c < numCores; c++ {
+			s, ni := fix.CoreSwitch[c], fix.CoreNI[c]
+			if s < 0 {
+				continue
+			}
+			if s >= top.NumSwitches() || ni < 0 || ni >= len(m.niCores) || ni/p.NIsPerSwitch != s {
+				return nil, nil, fmt.Errorf("core: fixed placement of core %d (switch %d, NI %d) invalid", c, s, ni)
+			}
+			m.coreSwitch[c] = s
+			m.coreNI[c] = ni
+			m.switchCores[s]++
+			m.niCores[ni]++
+		}
+	}
+
+	m.buildFlows()
+
+	// Algorithm 2 steps 3-7: repeatedly choose the heaviest remaining flow
+	// (preferring already-mapped endpoints), place and route it together
+	// with the same-pair flows of every other use-case, until all flows are
+	// mapped.
+	for {
+		fi := m.chooseNext()
+		if fi < 0 {
+			break
+		}
+		if err := m.placeAndRoute(fi); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	mapping := &Mapping{
+		Topology:   top,
+		Params:     p,
+		Prep:       prep,
+		CoreSwitch: m.coreSwitch,
+		CoreNI:     m.coreNI,
+	}
+	// Per-use-case configurations are restrictions of the group
+	// configuration to the use-case's own flows; assignments are shared.
+	mapping.Configs = make([]*Config, len(prep.UseCases))
+	for uc, u := range prep.UseCases {
+		cfg := &Config{Assignments: make(map[traffic.PairKey]*Assignment, len(u.Flows))}
+		g := prep.GroupOf[uc]
+		for _, f := range u.Flows {
+			a, ok := m.configs[g][f.Key()]
+			if !ok {
+				return nil, nil, fmt.Errorf("core: internal: flow %d->%d of use-case %d unassigned", f.Src, f.Dst, uc)
+			}
+			cfg.Assignments[f.Key()] = a
+		}
+		mapping.Configs[uc] = cfg
+	}
+	return mapping, m.states, nil
+}
+
+// buildFlows assembles the global flow list sorted by descending bandwidth
+// (Algorithm 2 step 2), with deterministic tie-breaking.
+func (m *mapper) buildFlows() {
+	for uc, u := range m.prep.UseCases {
+		for idx, f := range u.Flows {
+			m.flows = append(m.flows, flowInst{
+				uc: uc, idx: idx, bw: f.BandwidthMBs, lat: f.MaxLatencyNS, key: f.Key(),
+			})
+		}
+	}
+	sort.SliceStable(m.flows, func(i, j int) bool {
+		a, b := m.flows[i], m.flows[j]
+		if a.bw != b.bw {
+			return a.bw > b.bw
+		}
+		if a.key.Src != b.key.Src {
+			return a.key.Src < b.key.Src
+		}
+		if a.key.Dst != b.key.Dst {
+			return a.key.Dst < b.key.Dst
+		}
+		return a.uc < b.uc
+	})
+	m.byPair = make(map[traffic.PairKey][]int)
+	for i, f := range m.flows {
+		m.byPair[f.key] = append(m.byPair[f.key], i)
+	}
+	// Demand projection tables: per group, the heaviest flow per pair
+	// determines the reservation size; each core's remaining demand is the
+	// sum over its pairs.
+	numGroups := len(m.prep.Groups)
+	m.pairSlots = make([]map[traffic.PairKey]int, numGroups)
+	m.remOut = make([][]int, numGroups)
+	m.remIn = make([][]int, numGroups)
+	numCores := len(m.coreSwitch)
+	for g := 0; g < numGroups; g++ {
+		m.pairSlots[g] = make(map[traffic.PairKey]int)
+		m.remOut[g] = make([]int, numCores)
+		m.remIn[g] = make([]int, numCores)
+	}
+	for _, f := range m.flows {
+		g := m.prep.GroupOf[f.uc]
+		n := tdma.SlotsNeeded(f.bw, m.p.SlotBandwidthMBs())
+		if n > m.pairSlots[g][f.key] {
+			m.pairSlots[g][f.key] = n
+		}
+	}
+	for g := 0; g < numGroups; g++ {
+		for key, n := range m.pairSlots[g] {
+			m.remOut[g][key.Src] += n
+			m.remIn[g][key.Dst] += n
+		}
+	}
+}
+
+// projectedNIUsed returns the projected slot usage of an NI link in group g:
+// slots already reserved plus the remaining demand of every core attached to
+// the NI (and of extraCore, a core about to be attached).
+func (m *mapper) projectedNIUsed(ni, g int, role niRole, extraCore int) int {
+	link := m.niEgress(ni)
+	rem := m.remOut[g]
+	if role == roleDst {
+		link = m.niIngress(ni)
+		rem = m.remIn[g]
+	}
+	used := m.p.SlotTableSize - m.states[g].FreeSlots(link)
+	for c, n := range m.coreNI {
+		if n == ni {
+			used += rem[c]
+		}
+	}
+	if extraCore >= 0 {
+		used += rem[extraCore]
+	}
+	return used
+}
+
+// bestProjectedNI returns the lowest projected usage over the NIs of switch
+// s that still have core capacity, or -1 when all NIs are full.
+func (m *mapper) bestProjectedNI(s, g int, role niRole, extraCore int) int {
+	base := s * m.p.NIsPerSwitch
+	best := -1
+	for ni := base; ni < base+m.p.NIsPerSwitch; ni++ {
+		if m.niCores[ni] >= m.p.CoresPerNI {
+			continue
+		}
+		u := m.projectedNIUsed(ni, g, role, extraCore)
+		if best < 0 || u < best {
+			best = u
+		}
+	}
+	return best
+}
+
+// chooseNext implements Algorithm 2 step 3: the heaviest remaining flow,
+// preferring flows between already-mapped cores, then flows with one mapped
+// endpoint. The list is bandwidth-sorted, so the first hit per tier is the
+// heaviest of that tier.
+func (m *mapper) chooseNext() int {
+	tierBest := [3]int{-1, -1, -1}
+	for i := range m.flows {
+		f := &m.flows[i]
+		if f.done {
+			continue
+		}
+		if m.p.DisableMappedPreference {
+			return i
+		}
+		sm := m.coreSwitch[f.key.Src] >= 0
+		dm := m.coreSwitch[f.key.Dst] >= 0
+		tier := 2
+		switch {
+		case sm && dm:
+			tier = 0
+		case sm || dm:
+			tier = 1
+		}
+		if tierBest[tier] < 0 {
+			tierBest[tier] = i
+			if tier == 0 {
+				break
+			}
+		}
+	}
+	for _, t := range tierBest {
+		if t >= 0 {
+			return t
+		}
+	}
+	return -1
+}
+
+// placeAndRoute handles one chosen flow (steps 4-6): try candidate
+// placements for any unmapped endpoint; for each, route and reserve the
+// flow's pair in every group that communicates over it. The first placement
+// for which all groups succeed is committed.
+func (m *mapper) placeAndRoute(fi int) error {
+	f := m.flows[fi]
+	key := f.key
+	groupOrder, instOf := m.collectSamePair(fi)
+
+	placements, err := m.candidatePlacements(f)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for _, pl := range placements {
+		if err := m.applyPlacement(pl); err != nil {
+			lastErr = err
+			continue
+		}
+		mark := len(m.journal)
+		err := m.routeGroups(key, groupOrder, instOf)
+		if err == nil {
+			for _, insts := range instOf {
+				for _, i := range insts {
+					m.flows[i].done = true
+				}
+			}
+			return nil
+		}
+		lastErr = err
+		m.rollback(mark)
+		m.undoPlacement(pl)
+	}
+	return fmt.Errorf("core: flow %d->%d (%.1f MB/s, use-case %q): %v",
+		key.Src, key.Dst, f.bw, m.prep.UseCases[f.uc].Name, lastErr)
+}
+
+// collectSamePair gathers every not-yet-done flow instance with the chosen
+// pair, bucketed by configuration group. The driving flow's group comes
+// first; remaining groups follow in descending order of their heaviest
+// same-pair flow (step 6 of Algorithm 2).
+func (m *mapper) collectSamePair(fi int) ([]int, map[int][]int) {
+	key := m.flows[fi].key
+	instOf := make(map[int][]int)
+	for _, i := range m.byPair[key] {
+		if m.flows[i].done {
+			continue
+		}
+		g := m.prep.GroupOf[m.flows[i].uc]
+		instOf[g] = append(instOf[g], i)
+	}
+	drive := m.prep.GroupOf[m.flows[fi].uc]
+	groups := make([]int, 0, len(instOf))
+	for g := range instOf {
+		if g != drive {
+			groups = append(groups, g)
+		}
+	}
+	maxBW := func(g int) float64 {
+		var mx float64
+		for _, i := range instOf[g] {
+			if m.flows[i].bw > mx {
+				mx = m.flows[i].bw
+			}
+		}
+		return mx
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if maxBW(groups[a]) != maxBW(groups[b]) {
+			return maxBW(groups[a]) > maxBW(groups[b])
+		}
+		return groups[a] < groups[b]
+	})
+	return append([]int{drive}, groups...), instOf
+}
+
+// candidatePlacements enumerates (src switch, dst switch) options for the
+// flow's endpoints, cheapest placements first.
+func (m *mapper) candidatePlacements(f flowInst) ([]placement, error) {
+	src, dst := f.key.Src, f.key.Dst
+	ss, ds := m.coreSwitch[src], m.coreSwitch[dst]
+	g := m.prep.GroupOf[f.uc]
+	switch {
+	case ss >= 0 && ds >= 0:
+		return []placement{{srcSwitch: ss, dstSwitch: ds, src: src, dst: dst}}, nil
+	case ss >= 0:
+		cands := m.rankPlacements(ss, g, dst, -1)
+		out := make([]placement, 0, len(cands))
+		for _, c := range cands {
+			out = append(out, placement{placeDst: true, srcSwitch: ss, dstSwitch: c, src: src, dst: dst})
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no switch has NI capacity for core %d", dst)
+		}
+		return out, nil
+	case ds >= 0:
+		cands := m.rankPlacements(ds, g, src, -1)
+		out := make([]placement, 0, len(cands))
+		for _, c := range cands {
+			out = append(out, placement{placeSrc: true, srcSwitch: c, dstSwitch: ds, src: src, dst: dst})
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no switch has NI capacity for core %d", src)
+		}
+		return out, nil
+	default:
+		// Neither endpoint mapped: seed the source at switches with NI
+		// headroom near the mesh centre, then rank destinations around each
+		// seed.
+		seeds := m.seedSwitches(2, src)
+		if len(seeds) == 0 {
+			return nil, fmt.Errorf("no switch has NI capacity for core %d", src)
+		}
+		var out []placement
+		for _, s := range seeds {
+			// The destination may share the seed switch only if two core
+			// slots are free there.
+			for _, c := range m.rankPlacements(s, g, dst, s) {
+				out = append(out, placement{placeSrc: true, placeDst: true, srcSwitch: s, dstSwitch: c, src: src, dst: dst})
+				if len(out) >= m.p.PlacementCandidates {
+					return out, nil
+				}
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no switch pair has NI capacity for cores %d,%d", src, dst)
+		}
+		return out, nil
+	}
+}
+
+// Roles for NI-feasibility checks: a source core needs egress slots on its
+// NI, a destination core needs ingress slots.
+type niRole int
+
+const (
+	roleSrc niRole = iota
+	roleDst
+)
+
+// niChoice selects the NI of switch s best suited to host core: the one
+// whose worst projected usage (over all groups and both directions,
+// including the core's own remaining demand) is lowest. ok is false when no
+// NI of the switch can host the core within the slot table.
+func (m *mapper) niChoice(s int, core traffic.CoreID) (ni, worst int, ok bool) {
+	base := s * m.p.NIsPerSwitch
+	ni, worst = -1, 0
+	for cand := base; cand < base+m.p.NIsPerSwitch; cand++ {
+		if m.niCores[cand] >= m.p.CoresPerNI {
+			continue
+		}
+		w := 0
+		for g := range m.states {
+			if u := m.projectedNIUsed(cand, g, roleSrc, int(core)); u > w {
+				w = u
+			}
+			if u := m.projectedNIUsed(cand, g, roleDst, int(core)); u > w {
+				w = u
+			}
+		}
+		if ni < 0 || w < worst {
+			ni, worst = cand, w
+		}
+	}
+	if ni < 0 || worst > m.p.SlotTableSize {
+		return -1, worst, false
+	}
+	return ni, worst, true
+}
+
+// attachPenalty prices attaching core to switch s: the same convex load term
+// route.LinkCost applies to mesh links, evaluated on the projected occupancy
+// of the NI the core would use. Pricing projected NI load into placement
+// makes cores spread to fresh switches before NIs saturate — distance-only
+// ranking would pack every core onto the central switches, and no mesh
+// growth could ever help.
+func (m *mapper) attachPenalty(worst int) float64 {
+	occ := float64(worst) / float64(m.p.SlotTableSize)
+	if occ > 1 {
+		occ = 1
+	}
+	return m.p.Cost.LoadWeight * occ * occ
+}
+
+// rankPlacements orders candidate switches for an unmapped endpoint: only
+// switches with an NI that can absorb the core's projected demand qualify,
+// scored by least-cost-tree distance from the mapped endpoint's switch under
+// the group's residual state plus the projected NI load penalty. seedShared
+// marks a switch that must keep room for two cores (used when both endpoints
+// are placed at once).
+func (m *mapper) rankPlacements(from, group int, core traffic.CoreID, seedShared int) []int {
+	// Rank reachability with a 1-slot requirement: per-link feasibility for
+	// the actual reservation is re-checked during routing.
+	dist, err := route.LeastCostTree(m.top, m.states[group], topology.SwitchID(from), 1, m.p.Cost)
+	if err != nil {
+		return nil
+	}
+	type cand struct {
+		s int
+		d float64
+	}
+	var cands []cand
+	for s := 0; s < m.top.NumSwitches(); s++ {
+		free := m.p.CoresPerSwitch() - m.switchCores[s]
+		need := 1
+		if s == seedShared {
+			need = 2 // the seed core also lands here
+		}
+		if free < need {
+			continue
+		}
+		_, worst, ok := m.niChoice(s, core)
+		if !ok {
+			continue // no NI on this switch can absorb the core
+		}
+		d := dist[s]
+		if s == from {
+			d = 0
+		}
+		if d < 0 {
+			continue // unreachable under current load
+		}
+		cands = append(cands, cand{s, d + m.attachPenalty(worst)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].s < cands[j].s
+	})
+	if len(cands) > m.p.PlacementCandidates {
+		cands = cands[:m.p.PlacementCandidates]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.s
+	}
+	return out
+}
+
+// seedSwitches returns up to n switches that can absorb the core's projected
+// demand, scored by distance to the mesh centre plus the projected NI load
+// penalty (deterministic seed order for flows with no mapped endpoint).
+func (m *mapper) seedSwitches(n int, core traffic.CoreID) []int {
+	cr, cc := (m.top.Rows-1)/2, (m.top.Cols-1)/2
+	centre := m.top.At(cr, cc)
+	type cand struct {
+		s int
+		d float64
+	}
+	var cands []cand
+	for s := 0; s < m.top.NumSwitches(); s++ {
+		if m.switchCores[s] >= m.p.CoresPerSwitch() {
+			continue
+		}
+		_, worst, ok := m.niChoice(s, core)
+		if !ok {
+			continue
+		}
+		d := float64(m.top.HopDistance(topology.SwitchID(s), centre))*m.p.Cost.HopCost +
+			m.attachPenalty(worst)
+		cands = append(cands, cand{s, d})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].s < cands[j].s
+	})
+	if len(cands) > n {
+		cands = cands[:n]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.s
+	}
+	return out
+}
+
+// applyPlacement tentatively attaches unmapped endpoint cores to their
+// switches, choosing the NI with the most projected headroom.
+func (m *mapper) applyPlacement(pl placement) error {
+	place := func(core traffic.CoreID, s int) error {
+		ni, _, ok := m.niChoice(s, core)
+		if !ok {
+			return fmt.Errorf("switch %d cannot absorb core %d", s, core)
+		}
+		m.coreSwitch[core] = s
+		m.coreNI[core] = ni
+		m.switchCores[s]++
+		m.niCores[ni]++
+		return nil
+	}
+	if pl.placeSrc {
+		if err := place(pl.src, pl.srcSwitch); err != nil {
+			return err
+		}
+	}
+	if pl.placeDst {
+		if err := place(pl.dst, pl.dstSwitch); err != nil {
+			if pl.placeSrc {
+				m.unplace(pl.src)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *mapper) unplace(core traffic.CoreID) {
+	s, ni := m.coreSwitch[core], m.coreNI[core]
+	if s >= 0 {
+		m.switchCores[s]--
+		m.niCores[ni]--
+	}
+	m.coreSwitch[core] = -1
+	m.coreNI[core] = -1
+}
+
+func (m *mapper) undoPlacement(pl placement) {
+	if pl.placeSrc {
+		m.unplace(pl.src)
+	}
+	if pl.placeDst {
+		m.unplace(pl.dst)
+	}
+}
+
+// routeGroups reserves the pair in every group that uses it. For each group
+// the reservation is sized by the group's heaviest same-pair flow and must
+// satisfy the group's tightest latency constraint; it is recorded once in
+// the group's shared state (Algorithm 2 steps 4-6).
+func (m *mapper) routeGroups(key traffic.PairKey, groupOrder []int, instOf map[int][]int) error {
+	for _, g := range groupOrder {
+		insts := instOf[g]
+		var maxBW float64
+		lat := -1.0
+		for _, i := range insts {
+			if m.flows[i].bw > maxBW {
+				maxBW = m.flows[i].bw
+			}
+			if l := m.flows[i].lat; l > 0 && (lat < 0 || l < lat) {
+				lat = l
+			}
+		}
+		if err := m.reservePair(g, key, maxBW, lat); err != nil {
+			return fmt.Errorf("group %d: %w", g, err)
+		}
+	}
+	return nil
+}
+
+// reservePair selects a path and aligned slots for one pair in one group's
+// state. Candidates are tried cheapest-first; the slot count escalates past
+// the bandwidth requirement if the latency bound needs a smaller slot gap.
+func (m *mapper) reservePair(g int, key traffic.PairKey, bw float64, latencyNS float64) error {
+	st := m.states[g]
+	T := m.p.SlotTableSize
+	slots0 := tdma.SlotsNeeded(bw, m.p.SlotBandwidthMBs())
+	if slots0 > T {
+		return fmt.Errorf("flow %d->%d needs %d slots, table has %d (bandwidth %0.1f exceeds link capacity %0.1f MB/s)",
+			key.Src, key.Dst, slots0, T, bw, m.p.LinkBandwidthMBs())
+	}
+	srcS, dstS := m.coreSwitch[key.Src], m.coreSwitch[key.Dst]
+	egress := m.niEgress(m.coreNI[key.Src])
+	ingress := m.niIngress(m.coreNI[key.Dst])
+	latBudget := m.p.LatencyBudgetSlots(latencyNS)
+
+	var meshCands []route.Path
+	if srcS == dstS {
+		meshCands = []route.Path{nil}
+	} else {
+		meshCands = route.Candidates(m.top, st, topology.SwitchID(srcS), topology.SwitchID(dstS), slots0, m.p.Cost)
+		if len(meshCands) == 0 {
+			return fmt.Errorf("flow %d->%d: no feasible path %d->%d (%d slots)", key.Src, key.Dst, srcS, dstS, slots0)
+		}
+		if m.p.DisableUnifiedSlots {
+			// Ablation A2: path selection ignores slot alignment — commit to
+			// the single cheapest bandwidth-feasible path.
+			meshCands = meshCands[:1]
+		}
+	}
+	for _, cand := range meshCands {
+		full := make([]int, 0, len(cand)+2)
+		full = append(full, egress)
+		full = append(full, cand.Ints()...)
+		full = append(full, ingress)
+		for n := slots0; n <= T; n++ {
+			starts, ok := st.FindAligned(full, n)
+			if !ok {
+				break // more slots cannot become available
+			}
+			if latBudget >= 0 && tdma.WorstCaseLatencySlots(starts, len(full), T) > latBudget {
+				continue // spread more slots to shrink the gap
+			}
+			owner := m.nextOwner
+			m.nextOwner++
+			if err := st.Reserve(owner, full, starts); err != nil {
+				return fmt.Errorf("internal: reserve after FindAligned: %w", err)
+			}
+			a := &Assignment{Path: full, Starts: starts, SlotCount: n}
+			m.configs[g][key] = a
+			// The pair's projected demand is now realized.
+			demand := m.pairSlots[g][key]
+			m.remOut[g][key.Src] -= demand
+			m.remIn[g][key.Dst] -= demand
+			m.journal = append(m.journal, resRecord{group: g, owner: owner, path: full, start: starts, key: key, demand: demand})
+			return nil
+		}
+	}
+	return fmt.Errorf("flow %d->%d: no aligned slots (need %d, latency budget %d slots) on any of %d paths",
+		key.Src, key.Dst, slots0, latBudget, len(meshCands))
+}
+
+func (m *mapper) rollback(mark int) {
+	for i := len(m.journal) - 1; i >= mark; i-- {
+		r := m.journal[i]
+		m.states[r.group].Release(r.owner, r.path, r.start)
+		delete(m.configs[r.group], r.key)
+		m.remOut[r.group][r.key.Src] += r.demand
+		m.remIn[r.group][r.key.Dst] += r.demand
+	}
+	m.journal = m.journal[:mark]
+}
+
+func (m *mapper) niEgress(globalNI int) int  { return m.meshLinks + 2*globalNI }
+func (m *mapper) niIngress(globalNI int) int { return m.meshLinks + 2*globalNI + 1 }

@@ -1,0 +1,345 @@
+// Package graph provides the graph primitives the mapping methodology is
+// built on: an undirected graph with depth-first search and connected
+// components (Algorithm 1 of the paper operates on the switching graph), and
+// a directed graph with Dijkstra shortest paths under arbitrary non-negative
+// edge costs (the least-cost path selection of Algorithm 2).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Undirected is a simple undirected graph over vertices 0..N-1.
+// Parallel edges are collapsed; self-loops are ignored for reachability.
+type Undirected struct {
+	n   int
+	adj []map[int]struct{}
+}
+
+// NewUndirected returns an undirected graph with n vertices and no edges.
+func NewUndirected(n int) *Undirected {
+	if n < 0 {
+		n = 0
+	}
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{})
+	}
+	return &Undirected{n: n, adj: adj}
+}
+
+// N reports the number of vertices.
+func (g *Undirected) N() int { return g.n }
+
+// AddEdge inserts the undirected edge (u, v). It returns an error if either
+// endpoint is out of range. Self-loops are accepted but have no effect on
+// connectivity.
+func (g *Undirected) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return nil
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	return nil
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Undirected) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Degree returns the number of neighbours of v, or 0 if v is out of range.
+func (g *Undirected) Degree(v int) int {
+	if v < 0 || v >= g.n {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbour list of v.
+func (g *Undirected) Neighbors(v int) []int {
+	if v < 0 || v >= g.n {
+		return nil
+	}
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DFS performs an iterative depth-first search from start and returns the
+// vertices reached, in visitation order. The caller's visited slice is
+// updated in place; it must have length N.
+func (g *Undirected) DFS(start int, visited []bool) []int {
+	if start < 0 || start >= g.n || visited[start] {
+		return nil
+	}
+	var order []int
+	stack := []int{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		order = append(order, v)
+		// Push sorted neighbours in reverse so they pop in ascending order,
+		// making traversal deterministic.
+		nbr := g.Neighbors(v)
+		for i := len(nbr) - 1; i >= 0; i-- {
+			if !visited[nbr[i]] {
+				stack = append(stack, nbr[i])
+			}
+		}
+	}
+	return order
+}
+
+// Components returns the connected components of the graph, each sorted
+// ascending, ordered by their smallest vertex. This is Algorithm 1 of the
+// paper: repeated DFS until every vertex is visited, grouping the vertices
+// reached by each search.
+func (g *Undirected) Components() [][]int {
+	visited := make([]bool, g.n)
+	var comps [][]int
+	for v := 0; v < g.n; v++ {
+		if visited[v] {
+			continue
+		}
+		comp := g.DFS(v, visited)
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Arc is a directed edge with an identifier, used by the directed graph. The
+// ID lets callers attach external state (e.g. per-link residual bandwidth).
+type Arc struct {
+	ID   int
+	From int
+	To   int
+}
+
+// Directed is a directed multigraph over vertices 0..N-1 with identified
+// arcs, supporting Dijkstra under caller-provided per-arc costs.
+type Directed struct {
+	n    int
+	arcs []Arc
+	out  [][]int // vertex -> indices into arcs
+}
+
+// NewDirected returns a directed graph with n vertices and no arcs.
+func NewDirected(n int) *Directed {
+	if n < 0 {
+		n = 0
+	}
+	return &Directed{n: n, out: make([][]int, n)}
+}
+
+// N reports the number of vertices.
+func (g *Directed) N() int { return g.n }
+
+// NumArcs reports the number of arcs.
+func (g *Directed) NumArcs() int { return len(g.arcs) }
+
+// Arc returns the arc with index i.
+func (g *Directed) Arc(i int) Arc { return g.arcs[i] }
+
+// AddArc appends a directed arc and returns its index. The index doubles as
+// the arc ID handed back in paths.
+func (g *Directed) AddArc(from, to int) (int, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return -1, fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", from, to, g.n)
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, Arc{ID: id, From: from, To: to})
+	g.out[from] = append(g.out[from], id)
+	return id, nil
+}
+
+// Out returns the indices of arcs leaving v.
+func (g *Directed) Out(v int) []int {
+	if v < 0 || v >= g.n {
+		return nil
+	}
+	return g.out[v]
+}
+
+// CostFunc prices an arc for a particular search. Return Inf (or any value
+// < 0) to forbid the arc.
+type CostFunc func(arc Arc) float64
+
+// ErrNoPath is returned when the destination is unreachable under the given
+// cost function.
+var ErrNoPath = errors.New("graph: no path")
+
+// ShortestPath runs Dijkstra from src to dst under cost. It returns the arc
+// indices of a least-cost path and the total cost. Arcs priced negative or
+// +Inf are treated as absent. Ties are broken deterministically by preferring
+// lower vertex indices.
+func (g *Directed) ShortestPath(src, dst int, cost CostFunc) ([]int, float64, error) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return nil, 0, fmt.Errorf("graph: shortest path endpoints (%d,%d) out of range [0,%d)", src, dst, g.n)
+	}
+	dist, via := g.dijkstra(src, cost, dst)
+	if via == nil || (dist[dst] != dist[dst]) || dist[dst] < 0 { // NaN or unreached marker
+		return nil, 0, ErrNoPath
+	}
+	if via[dst] == -1 && src != dst {
+		return nil, 0, ErrNoPath
+	}
+	// Reconstruct.
+	var rev []int
+	for v := dst; v != src; {
+		a := via[v]
+		rev = append(rev, a)
+		v = g.arcs[a].From
+	}
+	path := make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, dist[dst], nil
+}
+
+// ShortestTree runs Dijkstra from src under cost and returns, for each
+// vertex, the cost of the best path from src (negative if unreachable) and
+// the incoming arc on that path (-1 for src and unreachable vertices).
+func (g *Directed) ShortestTree(src int, cost CostFunc) (dist []float64, via []int, err error) {
+	if src < 0 || src >= g.n {
+		return nil, nil, fmt.Errorf("graph: shortest tree source %d out of range [0,%d)", src, g.n)
+	}
+	dist, via = g.dijkstra(src, cost, -1)
+	return dist, via, nil
+}
+
+// PathVertices expands a path of arc indices into the vertex sequence it
+// visits, starting from the first arc's tail.
+func (g *Directed) PathVertices(path []int) []int {
+	if len(path) == 0 {
+		return nil
+	}
+	verts := make([]int, 0, len(path)+1)
+	verts = append(verts, g.arcs[path[0]].From)
+	for _, a := range path {
+		verts = append(verts, g.arcs[a].To)
+	}
+	return verts
+}
+
+const unreached = -1.0
+
+// dijkstra computes least costs from src. dist[v] < 0 marks unreachable.
+// If stop >= 0, the search terminates once stop is settled.
+func (g *Directed) dijkstra(src int, cost CostFunc, stop int) ([]float64, []int) {
+	dist := make([]float64, g.n)
+	via := make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = unreached
+		via[i] = -1
+	}
+	dist[src] = 0
+	h := &heapF{}
+	h.push(item{v: src, d: 0})
+	for h.len() > 0 {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == stop {
+			break
+		}
+		for _, ai := range g.out[it.v] {
+			arc := g.arcs[ai]
+			c := cost(arc)
+			if c < 0 || c != c || isInf(c) { // forbidden: negative, NaN or +Inf
+				continue
+			}
+			nd := dist[it.v] + c
+			if dist[arc.To] < 0 || nd < dist[arc.To] ||
+				(nd == dist[arc.To] && via[arc.To] >= 0 && arc.From < g.arcs[via[arc.To]].From) {
+				if !done[arc.To] {
+					dist[arc.To] = nd
+					via[arc.To] = ai
+					h.push(item{v: arc.To, d: nd})
+				}
+			}
+		}
+	}
+	return dist, via
+}
+
+func isInf(f float64) bool { return f > maxFinite }
+
+const maxFinite = 1.7976931348623157e308 / 2 // half of MaxFloat64: anything larger is "infinite"
+
+// item is a heap entry.
+type item struct {
+	v int
+	d float64
+}
+
+// heapF is a minimal binary min-heap on (d, v) pairs, ordered by d then v for
+// determinism. It avoids container/heap's interface overhead in the hot path.
+type heapF struct{ a []item }
+
+func (h *heapF) len() int { return len(h.a) }
+
+func (h *heapF) less(i, j int) bool {
+	if h.a[i].d != h.a[j].d {
+		return h.a[i].d < h.a[j].d
+	}
+	return h.a[i].v < h.a[j].v
+}
+
+func (h *heapF) push(it item) {
+	h.a = append(h.a, it)
+	i := len(h.a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *heapF) pop() item {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.a) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.a) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.a[i], h.a[small] = h.a[small], h.a[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,321 @@
+// Package route implements the path-selection half of the unified
+// mapping-configuration step. Following the paper's reference [20], the cost
+// of a path combines hop delay with the residual bandwidth/slots of the
+// links it crosses, so lightly loaded detours can beat congested shortcuts.
+//
+// Guaranteed-throughput flows are deadlock-free by construction — TDMA
+// reservations mean flits never block inside the network — so GT path
+// selection may use arbitrary paths. Best-effort traffic uses dimension-
+// ordered (XY) routing, which is deadlock-free under the turn model; the
+// package provides the XY generator and a turn-legality checker for it.
+package route
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nocmap/internal/graph"
+	"nocmap/internal/tdma"
+	"nocmap/internal/topology"
+)
+
+// Path is an ordered list of directed links from a source switch to a
+// destination switch.
+type Path []topology.LinkID
+
+// CostParams weight the two components of link cost from [20]: a fixed hop
+// cost (delay, energy) and a load penalty that grows with slot-table
+// occupancy, discouraging bandwidth fragmentation.
+type CostParams struct {
+	// HopCost is the fixed price of traversing one link.
+	HopCost float64
+	// LoadWeight scales the occupancy penalty.
+	LoadWeight float64
+	// MaxCandidates bounds how many candidate paths are generated per query.
+	MaxCandidates int
+}
+
+// DefaultCostParams mirror the defaults used throughout the evaluation.
+func DefaultCostParams() CostParams {
+	return CostParams{HopCost: 1.0, LoadWeight: 4.0, MaxCandidates: 8}
+}
+
+// LinkCost prices one link given the residual state: the fixed hop cost plus
+// a convex load penalty. Links without enough free slots for the request are
+// priced +Inf (forbidden).
+func LinkCost(st *tdma.State, link int, neededSlots int, p CostParams) float64 {
+	free := st.FreeSlots(link)
+	if free < neededSlots {
+		return math.Inf(1)
+	}
+	occ := 1 - float64(free)/float64(st.Slots())
+	return p.HopCost + p.LoadWeight*occ*occ
+}
+
+// PathCost sums LinkCost over a path.
+func PathCost(st *tdma.State, path Path, neededSlots int, p CostParams) float64 {
+	var sum float64
+	for _, l := range path {
+		c := LinkCost(st, int(l), neededSlots, p)
+		if math.IsInf(c, 1) {
+			return c
+		}
+		sum += c
+	}
+	return sum
+}
+
+// LeastCost runs Dijkstra over the topology under the residual-state cost
+// and returns the cheapest feasible path from src to dst. It reports
+// ErrNoPath via the wrapped graph error if every route is saturated.
+func LeastCost(top *topology.Topology, st *tdma.State, src, dst topology.SwitchID, neededSlots int, p CostParams) (Path, float64, error) {
+	arcs, cost, err := top.Graph().ShortestPath(int(src), int(dst), func(a graph.Arc) float64 {
+		return LinkCost(st, a.ID, neededSlots, p)
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("route: %d->%d with %d slots: %w", src, dst, neededSlots, err)
+	}
+	path := make(Path, len(arcs))
+	for i, a := range arcs {
+		path[i] = topology.LinkID(a)
+	}
+	return path, cost, nil
+}
+
+// LeastCostTree computes, from a single source, the least path cost to every
+// switch (negative = unreachable) under the residual-state cost. The mapper
+// uses it to evaluate every candidate placement of an unmapped core in one
+// Dijkstra run.
+func LeastCostTree(top *topology.Topology, st *tdma.State, src topology.SwitchID, neededSlots int, p CostParams) ([]float64, error) {
+	dist, _, err := top.Graph().ShortestTree(int(src), func(a graph.Arc) float64 {
+		return LinkCost(st, a.ID, neededSlots, p)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("route: tree from %d: %w", src, err)
+	}
+	return dist, nil
+}
+
+// XY returns the dimension-ordered path: first along the row (X/columns),
+// then along the column (Y/rows). It is minimal and deadlock-free.
+func XY(top *topology.Topology, src, dst topology.SwitchID) (Path, error) {
+	return dimOrdered(top, src, dst, true)
+}
+
+// YX returns the column-first dimension-ordered path.
+func YX(top *topology.Topology, src, dst topology.SwitchID) (Path, error) {
+	return dimOrdered(top, src, dst, false)
+}
+
+func dimOrdered(top *topology.Topology, src, dst topology.SwitchID, xFirst bool) (Path, error) {
+	if top.Kind != topology.KindMesh {
+		return nil, fmt.Errorf("route: dimension-ordered routing requires a mesh, have %s", top.Kind)
+	}
+	sr, sc := top.Coord(src)
+	dr, dc := top.Coord(dst)
+	var path Path
+	cur := src
+	stepCol := func() error {
+		for sc != dc {
+			next := sc + 1
+			if dc < sc {
+				next = sc - 1
+			}
+			l, ok := top.FindLink(cur, top.At(sr, next))
+			if !ok {
+				return fmt.Errorf("route: missing mesh link at (%d,%d)", sr, next)
+			}
+			path = append(path, l)
+			sc = next
+			cur = top.At(sr, sc)
+		}
+		return nil
+	}
+	stepRow := func() error {
+		for sr != dr {
+			next := sr + 1
+			if dr < sr {
+				next = sr - 1
+			}
+			l, ok := top.FindLink(cur, top.At(next, sc))
+			if !ok {
+				return fmt.Errorf("route: missing mesh link at (%d,%d)", next, sc)
+			}
+			path = append(path, l)
+			sr = next
+			cur = top.At(sr, sc)
+		}
+		return nil
+	}
+	if xFirst {
+		if err := stepCol(); err != nil {
+			return nil, err
+		}
+		if err := stepRow(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := stepRow(); err != nil {
+			return nil, err
+		}
+		if err := stepCol(); err != nil {
+			return nil, err
+		}
+	}
+	return path, nil
+}
+
+// MinimalPaths enumerates minimal (monotone) mesh paths from src to dst, up
+// to cap paths. With cap <= 0 all minimal paths are returned. Enumeration
+// order is deterministic (column-step branches explored first).
+func MinimalPaths(top *topology.Topology, src, dst topology.SwitchID, cap int) []Path {
+	if top.Kind != topology.KindMesh {
+		return nil
+	}
+	var out []Path
+	var walk func(cur topology.SwitchID, acc Path)
+	dr, dc := top.Coord(dst)
+	walk = func(cur topology.SwitchID, acc Path) {
+		if cap > 0 && len(out) >= cap {
+			return
+		}
+		if cur == dst {
+			out = append(out, append(Path(nil), acc...))
+			return
+		}
+		cr, cc := top.Coord(cur)
+		if cc != dc {
+			next := cc + 1
+			if dc < cc {
+				next = cc - 1
+			}
+			if l, ok := top.FindLink(cur, top.At(cr, next)); ok {
+				walk(top.At(cr, next), append(acc, l))
+			}
+		}
+		if cr != dr {
+			next := cr + 1
+			if dr < cr {
+				next = cr - 1
+			}
+			if l, ok := top.FindLink(cur, top.At(next, cc)); ok {
+				walk(top.At(next, cc), append(acc, l))
+			}
+		}
+	}
+	walk(src, nil)
+	return out
+}
+
+// Candidates assembles a deterministic, deduplicated list of candidate paths
+// for a flow, cheapest first: the Dijkstra least-cost path (which may detour
+// around saturated links), then minimal paths ordered by residual cost. At
+// most p.MaxCandidates paths are returned; infeasible (infinite-cost) paths
+// are dropped.
+func Candidates(top *topology.Topology, st *tdma.State, src, dst topology.SwitchID, neededSlots int, p CostParams) []Path {
+	max := p.MaxCandidates
+	if max <= 0 {
+		max = 8
+	}
+	type scored struct {
+		path Path
+		cost float64
+	}
+	var cands []scored
+	seen := make(map[string]bool)
+	add := func(path Path) {
+		key := pathKey(path)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		c := PathCost(st, path, neededSlots, p)
+		if math.IsInf(c, 1) {
+			return
+		}
+		cands = append(cands, scored{path, c})
+	}
+	if lc, _, err := LeastCost(top, st, src, dst, neededSlots, p); err == nil {
+		add(lc)
+	}
+	for _, m := range MinimalPaths(top, src, dst, 2*max) {
+		add(m)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]Path, len(cands))
+	for i, c := range cands {
+		out[i] = c.path
+	}
+	return out
+}
+
+func pathKey(p Path) string {
+	b := make([]byte, 0, 4*len(p))
+	for _, l := range p {
+		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
+	}
+	return string(b)
+}
+
+// Turn describes a change of direction at a switch.
+type Turn struct {
+	At   topology.SwitchID
+	From topology.LinkID
+	To   topology.LinkID
+}
+
+// XYLegal reports whether a mesh path only makes turns permitted by
+// dimension-ordered XY routing (column movement must precede row movement;
+// once a path turns into a row direction it may not turn back). Used to
+// validate best-effort routes, which rely on XY for deadlock freedom.
+func XYLegal(top *topology.Topology, path Path) bool {
+	turnedToRow := false
+	for _, l := range path {
+		link := top.Link(l)
+		fr, fc := top.Coord(link.From)
+		tr, tc := top.Coord(link.To)
+		isRowMove := fr != tr
+		isColMove := fc != tc
+		switch {
+		case isRowMove && isColMove:
+			return false // diagonal links cannot occur in a mesh
+		case isRowMove:
+			turnedToRow = true
+		case isColMove:
+			if turnedToRow {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Contiguous verifies that a path's links join head-to-tail and start/end at
+// the given switches.
+func Contiguous(top *topology.Topology, path Path, src, dst topology.SwitchID) bool {
+	if len(path) == 0 {
+		return src == dst
+	}
+	if top.Link(path[0]).From != src || top.Link(path[len(path)-1]).To != dst {
+		return false
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if top.Link(path[i]).To != top.Link(path[i+1]).From {
+			return false
+		}
+	}
+	return true
+}
+
+// Ints converts a Path to the []int form used by the tdma package.
+func (p Path) Ints() []int {
+	out := make([]int, len(p))
+	for i, l := range p {
+		out[i] = int(l)
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nocmap/internal/tdma"
+	"nocmap/internal/topology"
+)
+
+func mesh(t *testing.T, rows, cols int) *topology.Topology {
+	t.Helper()
+	m, err := topology.NewMesh(rows, cols, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func state(t *testing.T, top *topology.Topology, slots int) *tdma.State {
+	t.Helper()
+	s, err := tdma.NewState(top.NumLinks(), slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLinkCostFreeAndLoaded(t *testing.T) {
+	top := mesh(t, 1, 2)
+	st := state(t, top, 8)
+	p := DefaultCostParams()
+	free := LinkCost(st, 0, 1, p)
+	if free != p.HopCost {
+		t.Errorf("free link cost = %v, want %v", free, p.HopCost)
+	}
+	// Occupy 4 of 8 slots on link 0.
+	if err := st.Reserve(1, []int{0}, []int{0, 2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	loaded := LinkCost(st, 0, 1, p)
+	if loaded <= free {
+		t.Errorf("loaded link should cost more: %v vs %v", loaded, free)
+	}
+	// Insufficient slots: forbidden.
+	if c := LinkCost(st, 0, 5, p); !math.IsInf(c, 1) {
+		t.Errorf("infeasible link cost = %v, want +Inf", c)
+	}
+}
+
+func TestXYandYXShape(t *testing.T) {
+	top := mesh(t, 3, 3)
+	src, dst := top.At(0, 0), top.At(2, 2)
+	xy, err := XY(top, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yx, err := YX(top, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xy) != 4 || len(yx) != 4 {
+		t.Fatalf("path lengths %d,%d, want 4,4", len(xy), len(yx))
+	}
+	if !Contiguous(top, xy, src, dst) || !Contiguous(top, yx, src, dst) {
+		t.Error("paths not contiguous")
+	}
+	if !XYLegal(top, xy) {
+		t.Error("XY path reported illegal")
+	}
+	if XYLegal(top, yx) {
+		t.Error("YX path (row-first) must be XY-illegal for a true L-shape")
+	}
+	// Same row: both coincide and are legal.
+	xy2, _ := XY(top, top.At(1, 0), top.At(1, 2))
+	if len(xy2) != 2 || !XYLegal(top, xy2) {
+		t.Error("straight path wrong")
+	}
+}
+
+func TestXYSelfPath(t *testing.T) {
+	top := mesh(t, 2, 2)
+	p, err := XY(top, top.At(0, 0), top.At(0, 0))
+	if err != nil || len(p) != 0 {
+		t.Errorf("self path = %v, %v", p, err)
+	}
+}
+
+func TestXYRejectsTorus(t *testing.T) {
+	tor, err := topology.NewTorus(3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := XY(tor, 0, 1); err == nil {
+		t.Error("XY on torus should be rejected")
+	}
+}
+
+func TestMinimalPathsCount(t *testing.T) {
+	top := mesh(t, 3, 3)
+	// (0,0) -> (2,2): C(4,2) = 6 minimal paths.
+	paths := MinimalPaths(top, top.At(0, 0), top.At(2, 2), 0)
+	if len(paths) != 6 {
+		t.Fatalf("minimal path count = %d, want 6", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 4 || !Contiguous(top, p, top.At(0, 0), top.At(2, 2)) {
+			t.Errorf("bad minimal path %v", p)
+		}
+	}
+	// Cap respected.
+	if got := MinimalPaths(top, top.At(0, 0), top.At(2, 2), 3); len(got) != 3 {
+		t.Errorf("capped count = %d, want 3", len(got))
+	}
+	// Same switch: one empty path.
+	if got := MinimalPaths(top, 0, 0, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("self minimal paths = %v", got)
+	}
+}
+
+func TestLeastCostAvoidsSaturation(t *testing.T) {
+	top := mesh(t, 2, 2)
+	st := state(t, top, 4)
+	p := DefaultCostParams()
+	src, dst := top.At(0, 0), top.At(0, 1)
+	// Saturate the direct link (0,0)->(0,1).
+	direct, ok := top.FindLink(src, dst)
+	if !ok {
+		t.Fatal("missing direct link")
+	}
+	if err := st.Reserve(9, []int{int(direct)}, []int{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	path, _, err := LeastCost(top, st, src, dst, 1, p)
+	if err != nil {
+		t.Fatalf("LeastCost: %v", err)
+	}
+	if len(path) != 3 {
+		t.Errorf("detour length = %d, want 3 (around the square)", len(path))
+	}
+	for _, l := range path {
+		if l == direct {
+			t.Error("path used the saturated link")
+		}
+	}
+}
+
+func TestLeastCostNoPath(t *testing.T) {
+	top := mesh(t, 1, 2)
+	st := state(t, top, 2)
+	// Saturate both directions.
+	if err := st.Reserve(1, []int{0}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Reserve(1, []int{1}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LeastCost(top, st, 0, 1, 1, DefaultCostParams()); err == nil {
+		t.Error("saturated network should yield no path")
+	}
+}
+
+func TestLeastCostTree(t *testing.T) {
+	top := mesh(t, 2, 3)
+	st := state(t, top, 8)
+	dist, err := LeastCostTree(top, st, top.At(0, 0), 1, DefaultCostParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[top.At(0, 0)] != 0 {
+		t.Errorf("self distance = %v", dist[0])
+	}
+	// Under uniform cost (fresh state), distance = hop count * HopCost.
+	for s := 0; s < top.NumSwitches(); s++ {
+		want := float64(top.HopDistance(top.At(0, 0), topology.SwitchID(s)))
+		if math.Abs(dist[s]-want) > 1e-12 {
+			t.Errorf("dist[%d] = %v, want %v", s, dist[s], want)
+		}
+	}
+}
+
+func TestCandidatesOrderingAndDedup(t *testing.T) {
+	top := mesh(t, 3, 3)
+	st := state(t, top, 8)
+	p := DefaultCostParams()
+	cands := Candidates(top, st, top.At(0, 0), top.At(2, 2), 1, p)
+	if len(cands) == 0 {
+		t.Fatal("no candidates on a fresh mesh")
+	}
+	if len(cands) > p.MaxCandidates {
+		t.Errorf("candidate count %d exceeds cap %d", len(cands), p.MaxCandidates)
+	}
+	seen := map[string]bool{}
+	prev := -1.0
+	for _, c := range cands {
+		if !Contiguous(top, c, top.At(0, 0), top.At(2, 2)) {
+			t.Errorf("candidate %v not contiguous", c)
+		}
+		k := pathKey(c)
+		if seen[k] {
+			t.Error("duplicate candidate")
+		}
+		seen[k] = true
+		cost := PathCost(st, c, 1, p)
+		if cost < prev {
+			t.Error("candidates not sorted by cost")
+		}
+		prev = cost
+	}
+}
+
+func TestCandidatesSkipInfeasible(t *testing.T) {
+	top := mesh(t, 1, 2)
+	st := state(t, top, 2)
+	if err := st.Reserve(1, []int{0}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if cands := Candidates(top, st, 0, 1, 1, DefaultCostParams()); len(cands) != 0 {
+		t.Errorf("saturated mesh candidates = %v, want none", cands)
+	}
+}
+
+func TestPathInts(t *testing.T) {
+	p := Path{3, 1, 2}
+	ints := p.Ints()
+	if len(ints) != 3 || ints[0] != 3 || ints[2] != 2 {
+		t.Errorf("Ints = %v", ints)
+	}
+}
+
+// Property: every minimal path has exactly HopDistance links and never
+// leaves the bounding box of src/dst.
+func TestMinimalPathsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(4), 2+rng.Intn(4)
+		top, err := topology.NewMesh(rows, cols, 4)
+		if err != nil {
+			return false
+		}
+		src := topology.SwitchID(rng.Intn(top.NumSwitches()))
+		dst := topology.SwitchID(rng.Intn(top.NumSwitches()))
+		want := top.HopDistance(src, dst)
+		paths := MinimalPaths(top, src, dst, 20)
+		if len(paths) == 0 {
+			return false
+		}
+		sr, sc := top.Coord(src)
+		dr, dc := top.Coord(dst)
+		loR, hiR := min(sr, dr), max(sr, dr)
+		loC, hiC := min(sc, dc), max(sc, dc)
+		for _, p := range paths {
+			if len(p) != want || !Contiguous(top, p, src, dst) {
+				return false
+			}
+			for _, l := range p {
+				r, c := top.Coord(top.Link(l).To)
+				if r < loR || r > hiR || c < loC || c > hiC {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Dijkstra least-cost path on a fresh (uniform) mesh is
+// minimal, and XY/YX are always feasible alternatives of the same length.
+func TestLeastCostMinimalOnFreshMesh(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(4), 2+rng.Intn(4)
+		top, err := topology.NewMesh(rows, cols, 4)
+		if err != nil {
+			return false
+		}
+		st, err := tdma.NewState(top.NumLinks(), 8)
+		if err != nil {
+			return false
+		}
+		src := topology.SwitchID(rng.Intn(top.NumSwitches()))
+		dst := topology.SwitchID(rng.Intn(top.NumSwitches()))
+		if src == dst {
+			return true
+		}
+		path, _, err := LeastCost(top, st, src, dst, 1, DefaultCostParams())
+		if err != nil {
+			return false
+		}
+		if len(path) != top.HopDistance(src, dst) {
+			return false
+		}
+		xy, err := XY(top, src, dst)
+		if err != nil || len(xy) != len(path) || !XYLegal(top, xy) {
+			return false
+		}
+		yx, err := YX(top, src, dst)
+		return err == nil && len(yx) == len(path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package rtlgen
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nocmap/internal/core"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+func mapped(t *testing.T) *core.Mapping {
+	t.Helper()
+	d := &traffic.Design{
+		Name:  "rtl",
+		Cores: traffic.MakeCores(10),
+		UseCases: []*traffic.UseCase{
+			{Name: "a", Flows: []traffic.Flow{
+				{Src: 0, Dst: 1, BandwidthMBs: 700},
+				{Src: 2, Dst: 3, BandwidthMBs: 900},
+				{Src: 4, Dst: 5, BandwidthMBs: 1100},
+				{Src: 6, Dst: 7, BandwidthMBs: 1300},
+				{Src: 8, Dst: 9, BandwidthMBs: 600},
+			}},
+			{Name: "b", Flows: []traffic.Flow{
+				{Src: 9, Dst: 0, BandwidthMBs: 400},
+			}},
+		},
+	}
+	pr, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Map(pr, 10, core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Mapping
+}
+
+func TestWriteVHDLStructure(t *testing.T) {
+	m := mapped(t)
+	var buf bytes.Buffer
+	if err := WriteVHDL(&buf, m); err != nil {
+		t.Fatalf("WriteVHDL: %v", err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"library ieee",
+		"entity ni is",
+		"entity noc_top is",
+		"architecture structural of noc_top",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("VHDL missing %q", want)
+		}
+	}
+	// One instantiation per switch and per NI.
+	if got := strings.Count(s, "entity work.switch_"); got != m.Topology.NumSwitches() {
+		t.Errorf("switch instantiations = %d, want %d", got, m.Topology.NumSwitches())
+	}
+	wantNIs := m.Topology.NumSwitches() * m.Params.NIsPerSwitch
+	if got := strings.Count(s, "entity work.ni"); got != wantNIs {
+		t.Errorf("NI instantiations = %d, want %d", got, wantNIs)
+	}
+	// Every mesh link is documented.
+	if got := strings.Count(s, "-- link "); got != m.Topology.NumLinks() {
+		t.Errorf("link comments = %d, want %d", got, m.Topology.NumLinks())
+	}
+}
+
+func TestWriteConfigContents(t *testing.T) {
+	m := mapped(t)
+	for uc := range m.Prep.UseCases {
+		var buf bytes.Buffer
+		if err := WriteConfig(&buf, m, uc); err != nil {
+			t.Fatalf("WriteConfig(%d): %v", uc, err)
+		}
+		s := buf.String()
+		if !strings.Contains(s, "# use-case: "+m.Prep.UseCases[uc].Name) {
+			t.Error("header missing use-case name")
+		}
+		// One flow line per flow, each with slots and starts.
+		lines := 0
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "flow ") {
+				lines++
+				if !strings.Contains(l, " slots ") || !strings.Contains(l, " starts ") {
+					t.Errorf("malformed flow line %q", l)
+				}
+			}
+		}
+		if lines != len(m.Prep.UseCases[uc].Flows) {
+			t.Errorf("flow lines = %d, want %d", lines, len(m.Prep.UseCases[uc].Flows))
+		}
+	}
+	if err := WriteConfig(&bytes.Buffer{}, m, 99); err == nil {
+		t.Error("out-of-range use-case accepted")
+	}
+}
+
+func TestWriteConfigDeterministic(t *testing.T) {
+	m := mapped(t)
+	var a, b bytes.Buffer
+	if err := WriteConfig(&a, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteConfig(&b, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("WriteConfig not deterministic")
+	}
+}
+
+func TestWritePlacement(t *testing.T) {
+	m := mapped(t)
+	var buf bytes.Buffer
+	if err := WritePlacement(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for c := range m.CoreSwitch {
+		if !strings.Contains(s, fmt.Sprintf("core %d switch", c)) {
+			t.Errorf("placement missing core %d", c)
+		}
+	}
+}

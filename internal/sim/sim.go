@@ -1,0 +1,213 @@
+// Package sim is the phase-4 validation substrate: a slot-accurate simulator
+// of the TDMA NoC that executes a mapped configuration and measures what the
+// mapper only promised analytically. It replaces the paper's SystemC/RTL
+// simulation flow.
+//
+// The simulator advances time in TDMA slots. Each guaranteed-throughput flow
+// accumulates traffic at its nominal bandwidth in its source NI queue; when
+// one of the flow's reserved starting slots comes up and the queue holds a
+// packet, the packet enters the network and advances one link per slot
+// (contention-free routing). The simulator asserts that no two packets ever
+// occupy the same (link, slot) — the hardware invariant behind Æthereal's
+// guarantees — and reports per-flow delivered bandwidth and observed
+// worst-case latency, which must not exceed the analytic bound.
+//
+// Use-case switches are modelled explicitly: switching within a
+// smooth-switching group keeps the slot tables (zero reconfiguration cost),
+// while switching across groups tears down and reloads every slot-table
+// entry of the new configuration, costing a programmable number of cycles
+// per entry (Section 3: the re-configuration happens during the use-case
+// switching time).
+package sim
+
+import (
+	"fmt"
+
+	"nocmap/internal/core"
+	"nocmap/internal/tdma"
+	"nocmap/internal/traffic"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Slots is the number of TDMA slots to simulate (whole table rotations
+	// are recommended: a multiple of the mapping's slot-table size).
+	Slots int
+	// ReconfigCyclesPerEntry is the cost of writing one slot-table entry
+	// during a cross-group use-case switch.
+	ReconfigCyclesPerEntry int
+}
+
+// DefaultConfig simulates 64 table rotations.
+func DefaultConfig(m *core.Mapping) Config {
+	return Config{
+		Slots:                  64 * m.Params.SlotTableSize,
+		ReconfigCyclesPerEntry: 4,
+	}
+}
+
+// FlowStats reports one flow's measured behaviour.
+type FlowStats struct {
+	Pair traffic.PairKey
+	// InjectedBytes and DeliveredBytes measure offered and delivered load.
+	InjectedBytes  float64
+	DeliveredBytes float64
+	// DeliveredMBs is the delivered rate over the simulated window.
+	DeliveredMBs float64
+	// Packets counts delivered packets (one packet per granted slot use).
+	Packets int
+	// MaxLatencySlots is the worst observed source-queue wait plus network
+	// traversal, in slots.
+	MaxLatencySlots int
+	// AnalyticBoundSlots is the mapper's worst-case bound.
+	AnalyticBoundSlots int
+}
+
+// Result is the outcome of simulating one use-case.
+type Result struct {
+	UseCase string
+	Flows   []FlowStats
+	// Conflicts counts (link, slot) double-bookings observed; it must be 0
+	// for a sound configuration.
+	Conflicts int
+	// SimulatedSlots echoes the run length.
+	SimulatedSlots int
+}
+
+// Run simulates use-case uc of the mapping for cfg.Slots slots.
+func Run(m *core.Mapping, uc int, cfg Config) (*Result, error) {
+	if uc < 0 || uc >= len(m.Prep.UseCases) {
+		return nil, fmt.Errorf("sim: use-case %d out of range", uc)
+	}
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("sim: slot budget %d invalid", cfg.Slots)
+	}
+	u := m.Prep.UseCases[uc]
+	cfgAssign := m.Configs[uc].Assignments
+	T := m.Params.SlotTableSize
+	// One slot carries SlotCycles flits of LinkWidth bits.
+	slotBytes := float64(m.Params.SlotCycles) * float64(m.Params.LinkWidthBits) / 8
+
+	type flowState struct {
+		pair      traffic.PairKey
+		assign    *core.Assignment
+		rateBytes float64 // bytes accumulated per slot period
+		queue     float64 // backlog bytes
+		// queuedAt tracks the age (in slots) of the oldest queued packet.
+		oldest   int
+		hasOld   bool
+		starts   map[int]bool
+		stats    FlowStats
+		slotTime float64
+	}
+	slotSeconds := float64(m.Params.SlotCycles) / (m.Params.FreqMHz * 1e6)
+	flows := make([]*flowState, 0, len(u.Flows))
+	for _, f := range u.Flows {
+		a := cfgAssign[f.Key()]
+		if a == nil {
+			return nil, fmt.Errorf("sim: flow %d->%d has no assignment", f.Src, f.Dst)
+		}
+		fs := &flowState{
+			pair:      f.Key(),
+			assign:    a,
+			rateBytes: f.BandwidthMBs * 1e6 * slotSeconds,
+			starts:    make(map[int]bool, len(a.Starts)),
+		}
+		for _, s := range a.Starts {
+			fs.starts[s] = true
+		}
+		fs.stats.Pair = f.Key()
+		fs.stats.AnalyticBoundSlots = tdma.WorstCaseLatencySlots(a.Starts, len(a.Path), T)
+		flows = append(flows, fs)
+	}
+
+	// Occupancy check: (link, absolute slot) -> flow index.
+	res := &Result{UseCase: u.Name, SimulatedSlots: cfg.Slots}
+	occupied := make(map[[2]int]int)
+	for t := 0; t < cfg.Slots; t++ {
+		tableSlot := t % T
+		for fi, fs := range flows {
+			// Traffic accumulates continuously.
+			fs.queue += fs.rateBytes
+			fs.stats.InjectedBytes += fs.rateBytes
+			if fs.queue >= slotBytes && !fs.hasOld {
+				fs.hasOld = true
+				fs.oldest = t
+			}
+			if !fs.starts[tableSlot] || fs.queue < slotBytes {
+				continue
+			}
+			// A packet departs: it occupies link h at slot t+h.
+			for h, link := range fs.assign.Path {
+				cell := [2]int{link, t + h}
+				if other, dup := occupied[cell]; dup && other != fi {
+					res.Conflicts++
+				}
+				occupied[cell] = fi
+			}
+			fs.queue -= slotBytes
+			fs.stats.DeliveredBytes += slotBytes
+			fs.stats.Packets++
+			lat := (t - fs.oldest) + len(fs.assign.Path) + 1
+			if lat > fs.stats.MaxLatencySlots {
+				fs.stats.MaxLatencySlots = lat
+			}
+			if fs.queue < slotBytes {
+				fs.hasOld = false
+			} else {
+				// The next queued packet reaches the head of the queue once
+				// this slot completes.
+				fs.oldest = t + 1
+			}
+		}
+	}
+	window := float64(cfg.Slots) * slotSeconds
+	for _, fs := range flows {
+		fs.stats.DeliveredMBs = fs.stats.DeliveredBytes / 1e6 / window
+		res.Flows = append(res.Flows, fs.stats)
+	}
+	return res, nil
+}
+
+// SwitchCost reports the reconfiguration cost, in cycles, of switching from
+// use-case a to use-case b: zero within a smooth-switching group, otherwise
+// proportional to the number of slot-table entries of b's configuration.
+func SwitchCost(m *core.Mapping, a, b int, cfg Config) (int, error) {
+	n := len(m.Prep.UseCases)
+	if a < 0 || a >= n || b < 0 || b >= n {
+		return 0, fmt.Errorf("sim: switch %d->%d out of range", a, b)
+	}
+	if m.Prep.SameGroup(a, b) {
+		return 0, nil
+	}
+	entries := 0
+	for _, as := range m.Configs[b].Assignments {
+		entries += as.SlotCount * len(as.Path)
+	}
+	return entries * cfg.ReconfigCyclesPerEntry, nil
+}
+
+// VerifyAgainstAnalytic runs every use-case briefly and reports any flow
+// whose measured behaviour contradicts the mapper's guarantees: conflicts,
+// under-delivery (when backlogged), or latency above the analytic bound.
+func VerifyAgainstAnalytic(m *core.Mapping, slots int) []string {
+	var problems []string
+	for uc := range m.Prep.UseCases {
+		r, err := Run(m, uc, Config{Slots: slots, ReconfigCyclesPerEntry: 4})
+		if err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		if r.Conflicts > 0 {
+			problems = append(problems, fmt.Sprintf("use-case %s: %d slot conflicts", r.UseCase, r.Conflicts))
+		}
+		for _, f := range r.Flows {
+			if f.Packets > 0 && f.MaxLatencySlots > f.AnalyticBoundSlots {
+				problems = append(problems, fmt.Sprintf(
+					"use-case %s flow %d->%d: latency %d slots exceeds bound %d",
+					r.UseCase, f.Pair.Src, f.Pair.Dst, f.MaxLatencySlots, f.AnalyticBoundSlots))
+			}
+		}
+	}
+	return problems
+}

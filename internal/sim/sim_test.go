@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+
+	"nocmap/internal/core"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+func mapped(t *testing.T, d *traffic.Design) *core.Mapping {
+	t.Helper()
+	pr, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Map(pr, d.NumCores(), core.DefaultParams())
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	return res.Mapping
+}
+
+func design() *traffic.Design {
+	return &traffic.Design{
+		Name:  "simfix",
+		Cores: traffic.MakeCores(6),
+		UseCases: []*traffic.UseCase{
+			{Name: "a", Flows: []traffic.Flow{
+				{Src: 0, Dst: 1, BandwidthMBs: 500},
+				{Src: 1, Dst: 2, BandwidthMBs: 250, MaxLatencyNS: 2000},
+				{Src: 3, Dst: 4, BandwidthMBs: 125},
+			}},
+			{Name: "b", Flows: []traffic.Flow{
+				{Src: 0, Dst: 1, BandwidthMBs: 100},
+				{Src: 4, Dst: 5, BandwidthMBs: 800},
+			}},
+			{Name: "c", Flows: []traffic.Flow{
+				{Src: 5, Dst: 0, BandwidthMBs: 300},
+			}},
+		},
+		SmoothPairs: [][2]int{{0, 2}},
+	}
+}
+
+func TestRunDeliversReservedBandwidth(t *testing.T) {
+	m := mapped(t, design())
+	cfg := DefaultConfig(m)
+	r, err := Run(m, 0, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Conflicts != 0 {
+		t.Fatalf("conflicts = %d, want 0 (contention-free routing)", r.Conflicts)
+	}
+	if r.SimulatedSlots != cfg.Slots || r.UseCase != "a" {
+		t.Errorf("result header wrong: %+v", r)
+	}
+	for _, f := range r.Flows {
+		// Delivered rate must reach the demanded rate within a few percent
+		// (start-up transient of the first table rotation).
+		var want float64
+		for _, fl := range m.Prep.UseCases[0].Flows {
+			if fl.Key() == f.Pair {
+				want = fl.BandwidthMBs
+			}
+		}
+		if f.DeliveredMBs < 0.93*want {
+			t.Errorf("flow %d->%d delivered %.1f MB/s, demanded %.1f",
+				f.Pair.Src, f.Pair.Dst, f.DeliveredMBs, want)
+		}
+		if f.Packets == 0 {
+			t.Errorf("flow %d->%d delivered no packets", f.Pair.Src, f.Pair.Dst)
+		}
+	}
+}
+
+func TestRunLatencyWithinAnalyticBound(t *testing.T) {
+	m := mapped(t, design())
+	for uc := range m.Prep.UseCases {
+		r, err := Run(m, uc, DefaultConfig(m))
+		if err != nil {
+			t.Fatalf("Run(%d): %v", uc, err)
+		}
+		for _, f := range r.Flows {
+			if f.Packets > 0 && f.MaxLatencySlots > f.AnalyticBoundSlots {
+				t.Errorf("use-case %d flow %d->%d: observed latency %d > bound %d",
+					uc, f.Pair.Src, f.Pair.Dst, f.MaxLatencySlots, f.AnalyticBoundSlots)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	m := mapped(t, design())
+	if _, err := Run(m, -1, DefaultConfig(m)); err == nil {
+		t.Error("negative use-case accepted")
+	}
+	if _, err := Run(m, 99, DefaultConfig(m)); err == nil {
+		t.Error("out-of-range use-case accepted")
+	}
+	if _, err := Run(m, 0, Config{Slots: 0}); err == nil {
+		t.Error("zero slots accepted")
+	}
+}
+
+func TestSwitchCost(t *testing.T) {
+	m := mapped(t, design())
+	cfg := DefaultConfig(m)
+	// Use-cases 0 and 2 share a group (smooth pair): zero cost.
+	c, err := SwitchCost(m, 0, 2, cfg)
+	if err != nil || c != 0 {
+		t.Errorf("smooth switch cost = %d, %v; want 0", c, err)
+	}
+	// Cross-group switch costs per reloaded slot-table entry.
+	c, err = SwitchCost(m, 0, 1, cfg)
+	if err != nil || c <= 0 {
+		t.Errorf("cross-group switch cost = %d, %v; want > 0", c, err)
+	}
+	// Cost scales with the target configuration's entries.
+	entries := 0
+	for _, a := range m.Configs[1].Assignments {
+		entries += a.SlotCount * len(a.Path)
+	}
+	if c != entries*cfg.ReconfigCyclesPerEntry {
+		t.Errorf("cost = %d, want %d entries x %d cycles", c, entries, cfg.ReconfigCyclesPerEntry)
+	}
+	if _, err := SwitchCost(m, 0, 99, cfg); err == nil {
+		t.Error("out-of-range switch accepted")
+	}
+}
+
+func TestVerifyAgainstAnalyticClean(t *testing.T) {
+	m := mapped(t, design())
+	if problems := VerifyAgainstAnalytic(m, 16*m.Params.SlotTableSize); len(problems) != 0 {
+		t.Errorf("clean mapping reported problems: %v", problems)
+	}
+}
+
+func TestVerifyDetectsBrokenReservation(t *testing.T) {
+	m := mapped(t, design())
+	// Sabotage: give two flows of use-case "a" identical paths and starts.
+	ucA := m.Configs[0].Assignments
+	var first *core.Assignment
+	for _, f := range m.Prep.UseCases[0].Flows {
+		a := ucA[f.Key()]
+		if first == nil {
+			first = a
+			continue
+		}
+		a.Path = append([]int(nil), first.Path...)
+		a.Starts = append([]int(nil), first.Starts...)
+		a.SlotCount = first.SlotCount
+		break
+	}
+	r, err := Run(m, 0, DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Conflicts == 0 {
+		t.Error("sabotaged configuration showed no conflicts")
+	}
+}

@@ -1,0 +1,255 @@
+// Package tdma models the Æthereal-style TDMA slot tables that provide
+// guaranteed-throughput (GT) connections. Every link owns a table of T
+// slots. A GT flow that holds slot s on the first link of its path uses slot
+// (s+1) mod T on the second link, (s+2) mod T on the third, and so on
+// (contention-free routing): flits never wait inside the network, so two
+// reservations can conflict only if they claim the same (link, slot) pair,
+// which allocation forbids.
+//
+// Reserving n slots on a path grants n/T of the raw link bandwidth. The
+// worst-case latency of a flow is the longest wait for its next reserved
+// slot (the maximum cyclic gap between reserved slots) plus the pipeline
+// traversal of the path.
+package tdma
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Free marks an unowned slot.
+const Free int32 = -1
+
+// State holds the slot tables of every link of one NoC configuration. The
+// mapper keeps one State per use-case (the paper's key data structure);
+// use-cases in one smooth-switching group carry identical reservations.
+type State struct {
+	numLinks int
+	slots    int
+	tables   []int32 // numLinks * slots, row-major; Free or owner token
+}
+
+// NewState creates tables of `slots` slots for numLinks links, all free.
+func NewState(numLinks, slots int) (*State, error) {
+	if numLinks < 0 {
+		return nil, fmt.Errorf("tdma: negative link count %d", numLinks)
+	}
+	if slots < 1 {
+		return nil, fmt.Errorf("tdma: slot table size %d invalid", slots)
+	}
+	s := &State{numLinks: numLinks, slots: slots, tables: make([]int32, numLinks*slots)}
+	for i := range s.tables {
+		s.tables[i] = Free
+	}
+	return s, nil
+}
+
+// Clone returns an independent copy of the state.
+func (s *State) Clone() *State {
+	c := &State{numLinks: s.numLinks, slots: s.slots, tables: make([]int32, len(s.tables))}
+	copy(c.tables, s.tables)
+	return c
+}
+
+// NumLinks reports how many links the state covers.
+func (s *State) NumLinks() int { return s.numLinks }
+
+// Slots reports the slot-table size T.
+func (s *State) Slots() int { return s.slots }
+
+// Owner returns the owner token of (link, slot), or Free.
+func (s *State) Owner(link, slot int) int32 {
+	return s.tables[link*s.slots+((slot%s.slots+s.slots)%s.slots)]
+}
+
+// FreeSlots counts the free slots of a link's table.
+func (s *State) FreeSlots(link int) int {
+	n := 0
+	base := link * s.slots
+	for i := 0; i < s.slots; i++ {
+		if s.tables[base+i] == Free {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns the fraction of reserved slots on a link in [0,1].
+func (s *State) Utilization(link int) float64 {
+	return 1 - float64(s.FreeSlots(link))/float64(s.slots)
+}
+
+// StartFree reports whether starting slot st is free along the whole path
+// under contention-free alignment. The mapper uses it to intersect
+// availability across the states of a smooth-switching group, whose members
+// must carry identical reservations.
+func (s *State) StartFree(path []int, st int) bool {
+	return s.startFree(path, (st%s.slots+s.slots)%s.slots)
+}
+
+// startFree reports whether starting slot st is free along the whole path
+// under contention-free alignment: link path[h] must be free at (st+h) mod T.
+func (s *State) startFree(path []int, st int) bool {
+	for h, link := range path {
+		if s.tables[link*s.slots+(st+h)%s.slots] != Free {
+			return false
+		}
+	}
+	return true
+}
+
+// AvailableStarts lists the starting slots (on the first link) from which a
+// flit could traverse the whole path without conflict.
+func (s *State) AvailableStarts(path []int) []int {
+	if len(path) == 0 {
+		return nil
+	}
+	var starts []int
+	for st := 0; st < s.slots; st++ {
+		if s.startFree(path, st) {
+			starts = append(starts, st)
+		}
+	}
+	return starts
+}
+
+// FindAligned selects n starting slots for a reservation along path,
+// spreading them as evenly as possible around the table to minimize the
+// worst-case waiting gap. It returns nil, false if fewer than n aligned
+// starts exist. The path must be non-empty.
+func (s *State) FindAligned(path []int, n int) ([]int, bool) {
+	if n <= 0 || len(path) == 0 {
+		return nil, false
+	}
+	avail := s.AvailableStarts(path)
+	if len(avail) < n {
+		return nil, false
+	}
+	if len(avail) == n {
+		return avail, true
+	}
+	// Greedy even spacing: for each ideal position i*T/n choose the nearest
+	// unused available slot (cyclically).
+	chosen := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		target := i * s.slots / n
+		best, bestDist := -1, s.slots+1
+		for _, a := range avail {
+			if used[a] {
+				continue
+			}
+			d := cyclicDist(a, target, s.slots)
+			if d < bestDist || (d == bestDist && a < best) {
+				best, bestDist = a, d
+			}
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+	}
+	sort.Ints(chosen)
+	return chosen, true
+}
+
+// Reserve claims the aligned slots for owner along path. The starts must be
+// free (as returned by FindAligned); otherwise an error is returned and the
+// state is left unchanged.
+func (s *State) Reserve(owner int32, path []int, starts []int) error {
+	if owner < 0 {
+		return fmt.Errorf("tdma: owner token %d must be non-negative", owner)
+	}
+	for _, st := range starts {
+		if st < 0 || st >= s.slots {
+			return fmt.Errorf("tdma: start slot %d out of range [0,%d)", st, s.slots)
+		}
+		if !s.startFree(path, st) {
+			return fmt.Errorf("tdma: start slot %d not free along path", st)
+		}
+	}
+	for _, st := range starts {
+		for h, link := range path {
+			s.tables[link*s.slots+(st+h)%s.slots] = owner
+		}
+	}
+	return nil
+}
+
+// Release frees the aligned slots previously reserved by owner. Slots not
+// owned by owner are left untouched, so Release is safe to call on partially
+// rolled-back reservations.
+func (s *State) Release(owner int32, path []int, starts []int) {
+	for _, st := range starts {
+		if st < 0 || st >= s.slots {
+			continue
+		}
+		for h, link := range path {
+			idx := link*s.slots + (st+h)%s.slots
+			if s.tables[idx] == owner {
+				s.tables[idx] = Free
+			}
+		}
+	}
+}
+
+// Reservation records a granted slot allocation: the path and the starting
+// slots on its first link.
+type Reservation struct {
+	Owner  int32
+	Path   []int // link IDs in traversal order
+	Starts []int // starting slots on Path[0], sorted
+}
+
+// MaxGap returns the worst-case number of whole slots a flit waits at the NI
+// for the next reserved start, i.e. the largest cyclic gap between
+// consecutive reserved starts minus one. A single reserved slot yields T-1;
+// an empty reservation yields T (nothing is ever sent).
+func MaxGap(starts []int, slots int) int {
+	if len(starts) == 0 {
+		return slots
+	}
+	sorted := append([]int(nil), starts...)
+	sort.Ints(sorted)
+	max := 0
+	for i := range sorted {
+		next := sorted[(i+1)%len(sorted)]
+		gap := next - sorted[i]
+		if gap <= 0 {
+			gap += slots
+		}
+		if gap-1 > max {
+			max = gap - 1 // slots of waiting strictly between consecutive starts
+		}
+	}
+	return max
+}
+
+// WorstCaseLatencySlots bounds a GT flow's packet latency in slot periods:
+// the worst wait for the next reserved start plus one slot per hop of the
+// path plus the slot in which the flit is serialized.
+func WorstCaseLatencySlots(starts []int, pathLen, slots int) int {
+	return MaxGap(starts, slots) + pathLen + 1
+}
+
+// SlotsNeeded returns how many slots a flow of bandwidthMBs requires when
+// each slot grants slotBandwidthMBs.
+func SlotsNeeded(bandwidthMBs, slotBandwidthMBs float64) int {
+	if bandwidthMBs <= 0 || slotBandwidthMBs <= 0 {
+		return 0
+	}
+	n := int(bandwidthMBs / slotBandwidthMBs)
+	if float64(n)*slotBandwidthMBs < bandwidthMBs-1e-9 {
+		n++
+	}
+	return n
+}
+
+func cyclicDist(a, b, m int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if m-d < d {
+		d = m - d
+	}
+	return d
+}

@@ -1,0 +1,94 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// designJSON is the on-disk representation of a Design. Core names are
+// optional; cores may be given either as a count or as a name list.
+type designJSON struct {
+	Name         string        `json:"name"`
+	NumCores     int           `json:"num_cores,omitempty"`
+	CoreNames    []string      `json:"core_names,omitempty"`
+	UseCases     []useCaseJSON `json:"use_cases"`
+	ParallelSets [][]int       `json:"parallel_sets,omitempty"`
+	SmoothPairs  [][2]int      `json:"smooth_pairs,omitempty"`
+}
+
+type useCaseJSON struct {
+	Name  string     `json:"name"`
+	Flows []flowJSON `json:"flows"`
+}
+
+type flowJSON struct {
+	Src       int     `json:"src"`
+	Dst       int     `json:"dst"`
+	Bandwidth float64 `json:"bandwidth_mbs"`
+	Latency   float64 `json:"max_latency_ns,omitempty"`
+}
+
+// WriteJSON serializes the design in the tool interchange format.
+func (d *Design) WriteJSON(w io.Writer) error {
+	out := designJSON{
+		Name:         d.Name,
+		ParallelSets: d.ParallelSets,
+		SmoothPairs:  d.SmoothPairs,
+	}
+	for _, c := range d.Cores {
+		out.CoreNames = append(out.CoreNames, c.Name)
+	}
+	for _, u := range d.UseCases {
+		uj := useCaseJSON{Name: u.Name}
+		for _, f := range u.Flows {
+			uj.Flows = append(uj.Flows, flowJSON{
+				Src: int(f.Src), Dst: int(f.Dst),
+				Bandwidth: f.BandwidthMBs, Latency: f.MaxLatencyNS,
+			})
+		}
+		out.UseCases = append(out.UseCases, uj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a design from the tool interchange format and validates it.
+func ReadJSON(r io.Reader) (*Design, error) {
+	var in designJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("traffic: decode design: %w", err)
+	}
+	d := &Design{
+		Name:         in.Name,
+		ParallelSets: in.ParallelSets,
+		SmoothPairs:  in.SmoothPairs,
+	}
+	switch {
+	case len(in.CoreNames) > 0:
+		for i, name := range in.CoreNames {
+			d.Cores = append(d.Cores, Core{ID: CoreID(i), Name: name})
+		}
+	case in.NumCores > 0:
+		d.Cores = MakeCores(in.NumCores)
+	default:
+		return nil, fmt.Errorf("traffic: design %q: neither core_names nor num_cores given", in.Name)
+	}
+	for _, uj := range in.UseCases {
+		u := &UseCase{Name: uj.Name}
+		for _, fj := range uj.Flows {
+			u.Flows = append(u.Flows, Flow{
+				Src: CoreID(fj.Src), Dst: CoreID(fj.Dst),
+				BandwidthMBs: fj.Bandwidth, MaxLatencyNS: fj.Latency,
+			})
+		}
+		d.UseCases = append(d.UseCases, u)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
