@@ -9,11 +9,13 @@
 package nocmap_test
 
 import (
+	"context"
 	"testing"
 
 	"nocmap/internal/bench"
 	"nocmap/internal/core"
 	"nocmap/internal/experiments"
+	"nocmap/internal/search"
 	"nocmap/internal/usecase"
 )
 
@@ -222,6 +224,44 @@ func BenchmarkAblationSlotTable(b *testing.B) {
 			if i == 0 {
 				b.ReportMetric(count, "switches_T"+itoa(T))
 			}
+		}
+	}
+}
+
+// BenchmarkEngineGreedyD1, BenchmarkEngineAnnealD1 and
+// BenchmarkEnginePortfolioD1 measure the throughput of the internal/search
+// engines on design D1: one op is one complete Search, so ns/op is the
+// wall-clock cost of designing the NoC with that strategy.
+func BenchmarkEngineGreedyD1(b *testing.B)    { benchEngine(b, "greedy") }
+func BenchmarkEngineAnnealD1(b *testing.B)    { benchEngine(b, "anneal") }
+func BenchmarkEnginePortfolioD1(b *testing.B) { benchEngine(b, "portfolio") }
+
+func benchEngine(b *testing.B, name string) {
+	b.Helper()
+	d, err := bench.D1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := search.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := core.DefaultParams()
+	opts := search.DefaultOptions()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Search(ctx, prep, d.NumCores(), p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Mapping.SwitchCount()), "switches")
+			b.ReportMetric(res.Stats.MaxLinkUtil*100, "max_util_pct")
 		}
 	}
 }

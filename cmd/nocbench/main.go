@@ -5,20 +5,29 @@
 // Usage:
 //
 //	nocbench              # all figures
-//	nocbench -fig 6a      # one of: 6a 6b 6c 7a 7b 7c 62 headline
+//	nocbench -fig 6a      # one of: 6a 6b 6c 7a 7b 7c 62 headline engines
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"nocmap/internal/bench"
 	"nocmap/internal/experiments"
+	"nocmap/internal/search"
+)
+
+var (
+	seed   = flag.Int64("seed", 1, "base PRNG seed for the engines table")
+	seeds  = flag.Int("seeds", 4, "multi-start annealers in the portfolio engine")
+	budget = flag.Duration("budget", 0, "per-search wall-clock budget for the engines table (0 = unbounded)")
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a|6b|6c|7a|7b|7c|62|headline|all")
+	fig := flag.String("fig", "all", "figure to regenerate: 6a|6b|6c|7a|7b|7c|62|headline|engines|all")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -39,6 +48,7 @@ func main() {
 	run("7c", fig7c)
 	run("62", sec62)
 	run("headline", headline)
+	run("engines", engines)
 }
 
 func printComparisons(title string, cs []experiments.Comparison) {
@@ -142,6 +152,30 @@ func sec62() error {
 			wc = fmt.Sprintf("%s (%d)", e.WCDim, e.WCCount)
 		}
 		fmt.Printf("%-10s %14s %14s\n", e.Label, fmt.Sprintf("%s (%d)", e.OursDim, e.OursCount), wc)
+	}
+	return nil
+}
+
+func engines() error {
+	designs, err := experiments.EngineDesigns()
+	if err != nil {
+		return err
+	}
+	opts := search.DefaultOptions()
+	opts.Seed = *seed
+	opts.Seeds = *seeds
+	opts.Budget = *budget
+	rows, err := experiments.EngineComparison(context.Background(), designs, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nSearch-engine comparison (greedy vs anneal vs portfolio, seed %d)\n", opts.Seed)
+	fmt.Printf("%-22s %-10s %10s %10s %10s %12s\n",
+		"design", "engine", "switches", "avg hops", "max util", "elapsed")
+	for _, r := range rows {
+		fmt.Printf("%-22s %-10s %10s %10.2f %9.1f%% %12s\n",
+			r.Design, r.Engine, fmt.Sprintf("%s (%d)", r.Dim, r.Switches),
+			r.AvgHops, r.MaxUtil*100, r.Elapsed.Round(time.Millisecond))
 	}
 	return nil
 }

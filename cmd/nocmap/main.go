@@ -6,19 +6,23 @@
 //
 // Usage:
 //
-//	nocmap -in design.json [-freq 500] [-slots 64] [-vhdl noc.vhd]
+//	nocmap -in design.json [-engine greedy|anneal|portfolio] [-seeds 4]
+//	       [-budget 30s] [-freq 500] [-slots 64] [-vhdl noc.vhd]
 //	       [-config prefix] [-placement place.txt] [-improve]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nocmap/internal/area"
 	"nocmap/internal/core"
 	"nocmap/internal/power"
 	"nocmap/internal/rtlgen"
+	"nocmap/internal/search"
 	"nocmap/internal/sim"
 	"nocmap/internal/traffic"
 	"nocmap/internal/usecase"
@@ -27,6 +31,11 @@ import (
 
 func main() {
 	in := flag.String("in", "", "design JSON file (required)")
+	engine := flag.String("engine", "greedy",
+		"search engine: "+strings.Join(search.Names(), "|"))
+	seed := flag.Int64("seed", 1, "base PRNG seed for the anneal/portfolio engines")
+	seeds := flag.Int("seeds", 4, "multi-start annealers in the portfolio engine")
+	budget := flag.Duration("budget", 0, "wall-clock search budget (0 = unbounded)")
 	freq := flag.Float64("freq", 500, "NoC frequency in MHz")
 	slots := flag.Int("slots", 64, "TDMA slot-table size")
 	maxDim := flag.Int("maxdim", 20, "maximum mesh dimension")
@@ -38,24 +47,33 @@ func main() {
 	flag.Parse()
 
 	if *in == "" {
+		fmt.Fprintln(os.Stderr, "nocmap: -in is required: pass the design JSON file to map")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *freq, *slots, *maxDim, *improve, *vhdl, *config, *placement, *simulate); err != nil {
+	opts := search.DefaultOptions()
+	opts.Seed = *seed
+	opts.Seeds = *seeds
+	opts.Budget = *budget
+	if err := run(*in, *engine, opts, *freq, *slots, *maxDim, *improve, *vhdl, *config, *placement, *simulate); err != nil {
 		fmt.Fprintln(os.Stderr, "nocmap:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, freq float64, slots, maxDim int, improve bool, vhdl, config, placement string, simulate bool) error {
-	f, err := os.Open(in)
+func run(in, engine string, opts search.Options, freq float64, slots, maxDim int, improve bool, vhdl, config, placement string, simulate bool) error {
+	eng, err := search.New(engine)
 	if err != nil {
 		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return fmt.Errorf("open design: %w", err)
 	}
 	defer f.Close()
 	d, err := traffic.ReadJSON(f)
 	if err != nil {
-		return err
+		return fmt.Errorf("parse design %s: %w", in, err)
 	}
 	prep, err := usecase.Prepare(d)
 	if err != nil {
@@ -69,12 +87,12 @@ func run(in string, freq float64, slots, maxDim int, improve bool, vhdl, config,
 	p.SlotTableSize = slots
 	p.MaxMeshDim = maxDim
 	p.Improve = improve
-	res, err := core.Map(prep, d.NumCores(), p)
+	res, err := eng.Search(context.Background(), prep, d.NumCores(), p, opts)
 	if err != nil {
 		return err
 	}
 	m := res.Mapping
-	fmt.Printf("mapped onto %s at %.0f MHz\n", m.Topology, freq)
+	fmt.Printf("mapped onto %s at %.0f MHz (engine %s)\n", m.Topology, freq, eng.Name())
 	fmt.Printf("stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
 		res.Stats.MaxLinkUtil*100, res.Stats.AvgMeshHops, res.Stats.SlotsReserved)
 

@@ -1,0 +1,3 @@
+module nocmap
+
+go 1.24

@@ -51,6 +51,20 @@ func Map(prep *usecase.Prepared, numCores int, p Params) (*Result, error) {
 // frequency searches.
 func ConfigureFixed(prep *usecase.Prepared, numCores int, top *topology.Topology,
 	coreSwitch, coreNI []int, p Params) (*Mapping, error) {
+	res, err := EvaluateFixed(prep, numCores, top, coreSwitch, coreNI, p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Mapping, nil
+}
+
+// EvaluateFixed runs the configuration phase on a fixed core placement and
+// returns the complete Result, including the summary statistics that score
+// the mapping. It is the evaluation hook of the internal/search engines: a
+// candidate placement is feasible exactly when EvaluateFixed succeeds, and
+// its quality is read off the returned Stats.
+func EvaluateFixed(prep *usecase.Prepared, numCores int, top *topology.Topology,
+	coreSwitch, coreNI []int, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -58,8 +72,12 @@ func ConfigureFixed(prep *usecase.Prepared, numCores int, top *topology.Topology
 		return nil, err
 	}
 	fix := &placementFix{CoreSwitch: coreSwitch, CoreNI: coreNI}
-	m, _, err := attemptMap(prep, numCores, topology.Dim{Rows: top.Rows, Cols: top.Cols}, p, fix)
-	return m, err
+	dim := topology.Dim{Rows: top.Rows, Cols: top.Cols}
+	m, states, err := attemptMap(prep, numCores, dim, p, fix)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Mapping: m, Attempts: []Attempt{{Dim: dim}}, Stats: computeStats(m, states)}, nil
 }
 
 // InfeasibleError reports that no mesh up to the size cap could satisfy

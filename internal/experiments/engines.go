@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/search"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+// EngineRow is one (design, engine) cell of the search-engine comparison:
+// the network the engine designed and how long it searched.
+type EngineRow struct {
+	Design   string
+	Engine   string
+	Switches int
+	Dim      string
+	AvgHops  float64
+	MaxUtil  float64
+	Cost     float64
+	Elapsed  time.Duration
+}
+
+// EngineDesigns returns the comparison suite: the D1-D4 SoC stand-ins plus
+// one Spread and one Bottleneck synthetic design from the Figure 6 families.
+func EngineDesigns() ([]*traffic.Design, error) {
+	var out []*traffic.Design
+	for _, gen := range []func() (*traffic.Design, error){bench.D1, bench.D2, bench.D3, bench.D4} {
+		d, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	sp, err := bench.Synthetic(bench.SpreadSpec(10, SpFamilySeed))
+	if err != nil {
+		return nil, err
+	}
+	bot, err := bench.Synthetic(bench.BottleneckSpec(10, BotFamilySeed))
+	if err != nil {
+		return nil, err
+	}
+	return append(out, sp, bot), nil
+}
+
+// EngineComparison runs every registered search engine over the given
+// designs and reports one row per (design, engine) pair. The portfolio
+// contains the greedy engine as a member, so its switch count is never above
+// greedy's on any design.
+func EngineComparison(ctx context.Context, designs []*traffic.Design, opts search.Options) ([]EngineRow, error) {
+	p := Params()
+	var rows []EngineRow
+	for _, d := range designs {
+		prep, err := usecase.Prepare(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range search.Names() {
+			eng, err := search.New(name)
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			res, err := eng.Search(ctx, prep, d.NumCores(), p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("engine %s on %s: %w", name, d.Name, err)
+			}
+			rows = append(rows, EngineRow{
+				Design:   d.Name,
+				Engine:   name,
+				Switches: res.Mapping.SwitchCount(),
+				Dim:      res.Dim().String(),
+				AvgHops:  res.Stats.AvgMeshHops,
+				MaxUtil:  res.Stats.MaxLinkUtil,
+				Cost:     opts.Weights.Of(res),
+				Elapsed:  time.Since(t0),
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"nocmap/internal/search"
+)
+
+// TestEngineComparisonPortfolioNotWorse checks the acceptance criterion of
+// the search subsystem: on every design of the comparison suite (D1-D4 plus
+// the synthetic pair) the portfolio's switch count is at most greedy's.
+func TestEngineComparisonPortfolioNotWorse(t *testing.T) {
+	designs, err := EngineDesigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := search.DefaultOptions()
+	// Trimmed search effort: the invariant under test is structural
+	// (portfolio contains greedy), not a function of annealing length.
+	opts.Iters = 30
+	opts.Restarts = 1
+	opts.Seeds = 2
+	rows, err := EngineComparison(context.Background(), designs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := make(map[string]map[string]int)
+	for _, r := range rows {
+		if switches[r.Design] == nil {
+			switches[r.Design] = make(map[string]int)
+		}
+		switches[r.Design][r.Engine] = r.Switches
+	}
+	if len(switches) != len(designs) {
+		t.Fatalf("expected rows for %d designs, got %d", len(designs), len(switches))
+	}
+	for design, byEngine := range switches {
+		g, ok := byEngine["greedy"]
+		if !ok {
+			t.Fatalf("%s: no greedy row", design)
+		}
+		for _, engine := range []string{"anneal", "portfolio"} {
+			s, ok := byEngine[engine]
+			if !ok {
+				t.Fatalf("%s: no %s row", design, engine)
+			}
+			if s > g {
+				t.Errorf("%s: %s used %d switches, greedy %d", design, engine, s, g)
+			}
+		}
+	}
+}

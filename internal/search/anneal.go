@@ -1,0 +1,304 @@
+package search
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"slices"
+
+	"nocmap/internal/core"
+	"nocmap/internal/topology"
+	"nocmap/internal/usecase"
+)
+
+// Anneal is simulated annealing over core placements. It starts from the
+// greedy mapping, explores swap and relocate moves on the placement, and
+// scores every candidate by re-running the full configuration phase (path
+// selection plus TDMA slot reservation, core.EvaluateFixed) — so an accepted
+// move is always a complete, feasible multi-use-case configuration. Beyond
+// refining the greedy mesh, it probes smaller meshes the greedy constructive
+// order could not fill, using seeded random restarts to find a feasible
+// starting placement there. By construction the engine never returns a
+// result worse than greedy's under the configured cost weights.
+type Anneal struct{}
+
+// Name implements Engine.
+func (Anneal) Name() string { return "anneal" }
+
+// Search implements Engine.
+func (Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+	p core.Params, opts Options) (*core.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	base := opts.base
+	if base == nil {
+		var err error
+		base, err = core.Map(prep, numCores, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	a := &annealer{
+		prep: prep, numCores: numCores, p: p, opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		best: base, bestCost: opts.Weights.Of(base),
+	}
+	a.run(ctx, base)
+	return a.best, nil
+}
+
+// annealer carries the state of one annealing run; all randomness flows from
+// the single seeded PRNG, so a fixed Options.Seed reproduces the run.
+type annealer struct {
+	prep     *usecase.Prepared
+	numCores int
+	p        core.Params
+	opts     Options
+	rng      *rand.Rand
+
+	best     *core.Result
+	bestCost float64
+}
+
+// run anneals the greedy solution in place, then probes every smaller mesh
+// that could still hold the attached cores, largest first. Meshes at or
+// above the best-known switch count are skipped: the cost weights make any
+// same-or-larger mesh a guaranteed non-improvement.
+func (a *annealer) run(ctx context.Context, base *core.Result) {
+	a.annealFrom(ctx, base)
+	attached := attachedCores(base.Mapping.CoreSwitch)
+	for _, dim := range a.shrinkDims(base, len(attached)) {
+		if ctx.Err() != nil {
+			return
+		}
+		if dim.Switches() >= a.best.Mapping.SwitchCount() {
+			continue
+		}
+		start := a.feasibleStart(ctx, dim, attached)
+		if start == nil {
+			continue
+		}
+		a.consider(start)
+		a.annealFrom(ctx, start)
+	}
+}
+
+// shrinkDims lists meshes smaller than the greedy solution with enough core
+// seats, in descending switch count (nearest the greedy size first, where a
+// feasible placement is most likely to exist).
+func (a *annealer) shrinkDims(base *core.Result, attached int) []topology.Dim {
+	baseSwitches := base.Mapping.SwitchCount()
+	var dims []topology.Dim
+	for _, d := range topology.GrowthSequence(a.p.MaxMeshDim) {
+		if d.Switches() >= baseSwitches {
+			continue
+		}
+		if d.Switches()*a.p.CoresPerSwitch() < attached {
+			continue
+		}
+		dims = append(dims, d)
+	}
+	slices.Reverse(dims)
+	return dims
+}
+
+// feasibleStart tries Options.Restarts seeded random placements on the given
+// mesh and returns the first that configures feasibly, or nil.
+func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached []int) *core.Result {
+	top, err := topology.NewMesh(dim.Rows, dim.Cols, a.p.CoresPerSwitch())
+	if err != nil {
+		return nil
+	}
+	numNIs := top.NumSwitches() * a.p.NIsPerSwitch
+	seats := make([]int, 0, numNIs*a.p.CoresPerNI)
+	for ni := 0; ni < numNIs; ni++ {
+		for k := 0; k < a.p.CoresPerNI; k++ {
+			seats = append(seats, ni)
+		}
+	}
+	for r := 0; r < a.opts.Restarts; r++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		a.rng.Shuffle(len(seats), func(i, j int) { seats[i], seats[j] = seats[j], seats[i] })
+		cs := make([]int, a.numCores)
+		cn := make([]int, a.numCores)
+		for i := range cs {
+			cs[i], cn[i] = -1, -1
+		}
+		for i, c := range attached {
+			cn[c] = seats[i]
+			cs[c] = seats[i] / a.p.NIsPerSwitch
+		}
+		res, err := core.EvaluateFixed(a.prep, a.numCores, top, cs, cn, a.p)
+		if err == nil {
+			return res
+		}
+	}
+	return nil
+}
+
+// annealFrom runs one simulated-annealing chain starting at the given
+// feasible result, with a geometric temperature schedule and Metropolis
+// acceptance. Moves permute the placement; every candidate is re-configured
+// from scratch, and an infeasible candidate goes through one repair attempt
+// before being rejected.
+func (a *annealer) annealFrom(ctx context.Context, start *core.Result) {
+	attached := attachedCores(start.Mapping.CoreSwitch)
+	if len(attached) < 2 || a.opts.Iters == 0 {
+		return
+	}
+	cur := start
+	curCost := a.opts.Weights.Of(cur)
+	// Initial temperature accepts ~5%-of-cost uphill moves; cool to 1/1000 of
+	// that over the run.
+	t0 := 0.05*curCost + 1e-9
+	alpha := math.Pow(1e-3, 1/float64(a.opts.Iters))
+	temp := t0
+	for it := 0; it < a.opts.Iters; it++ {
+		if ctx.Err() != nil {
+			return
+		}
+		cand := a.propose(cur, attached)
+		if cand == nil {
+			temp *= alpha
+			continue
+		}
+		candCost := a.opts.Weights.Of(cand)
+		delta := candCost - curCost
+		if delta <= 0 || a.rng.Float64() < math.Exp(-delta/temp) {
+			cur, curCost = cand, candCost
+			a.consider(cand)
+		}
+		temp *= alpha
+	}
+}
+
+// propose generates one neighbouring placement (swap of two cores' seats, or
+// relocation of one core to a free seat) and evaluates it. When the
+// configuration phase rejects the candidate — some use-case's flows no
+// longer route or fit their slot tables — repair relocates one moved core to
+// the emptiest NI and retries once. Returns nil when no feasible neighbour
+// was found.
+func (a *annealer) propose(cur *core.Result, attached []int) *core.Result {
+	m := cur.Mapping
+	cs := append([]int(nil), m.CoreSwitch...)
+	cn := append([]int(nil), m.CoreNI...)
+	niLoad := niOccupancy(cn, m.Topology.NumSwitches()*a.p.NIsPerSwitch)
+
+	var moved [2]int
+	// forbidden marks the repaired core's original NI on relocate moves:
+	// repairing back to it would reproduce the current placement and waste a
+	// full configuration pass on a no-op. After a swap the other core stays
+	// moved, so any repair target yields a genuine neighbour.
+	forbidden := -1
+	if a.rng.Float64() < 0.7 {
+		// Swap two cores on different NIs.
+		x := attached[a.rng.Intn(len(attached))]
+		y := attached[a.rng.Intn(len(attached))]
+		if x == y || cn[x] == cn[y] {
+			return nil
+		}
+		cs[x], cs[y] = cs[y], cs[x]
+		cn[x], cn[y] = cn[y], cn[x]
+		moved = [2]int{x, y}
+	} else {
+		// Relocate one core to an NI with a free seat.
+		x := attached[a.rng.Intn(len(attached))]
+		free := freeNIs(niLoad, cn[x], a.p.CoresPerNI)
+		if len(free) == 0 {
+			return nil
+		}
+		ni := free[a.rng.Intn(len(free))]
+		niLoad[cn[x]]--
+		niLoad[ni]++
+		forbidden = cn[x]
+		cn[x] = ni
+		cs[x] = ni / a.p.NIsPerSwitch
+		moved = [2]int{x, x}
+	}
+	res, err := core.EvaluateFixed(a.prep, a.numCores, m.Topology, cs, cn, a.p)
+	if err == nil {
+		return res
+	}
+	// Repair: move one of the disturbed cores to the least-loaded NI and give
+	// the configuration one more chance.
+	x := moved[a.rng.Intn(2)]
+	ni := emptiestNI(niLoad, cn[x], forbidden, a.p.CoresPerNI)
+	if ni < 0 {
+		return nil
+	}
+	niLoad[cn[x]]--
+	niLoad[ni]++
+	cn[x] = ni
+	cs[x] = ni / a.p.NIsPerSwitch
+	res, err = core.EvaluateFixed(a.prep, a.numCores, m.Topology, cs, cn, a.p)
+	if err != nil {
+		return nil
+	}
+	return res
+}
+
+// consider updates the incumbent when the candidate scores strictly better.
+func (a *annealer) consider(r *core.Result) {
+	if c := a.opts.Weights.Of(r); c < a.bestCost-1e-12 {
+		a.best, a.bestCost = r, c
+	}
+}
+
+// attachedCores lists the cores with an NI seat.
+func attachedCores(coreSwitch []int) []int {
+	var out []int
+	for c, s := range coreSwitch {
+		if s >= 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// niOccupancy counts the cores seated on each NI.
+func niOccupancy(coreNI []int, numNIs int) []int {
+	load := make([]int, numNIs)
+	for _, ni := range coreNI {
+		if ni >= 0 {
+			load[ni]++
+		}
+	}
+	return load
+}
+
+// freeNIs lists the NIs other than `exclude` with a free core seat.
+func freeNIs(load []int, exclude, coresPerNI int) []int {
+	var out []int
+	for ni, n := range load {
+		if ni != exclude && n < coresPerNI {
+			out = append(out, ni)
+		}
+	}
+	return out
+}
+
+// emptiestNI returns the least-loaded NI with a free seat other than the
+// excluded pair, or -1.
+func emptiestNI(load []int, exclude, exclude2, coresPerNI int) int {
+	best, bestLoad := -1, 0
+	for ni, n := range load {
+		if ni == exclude || ni == exclude2 || n >= coresPerNI {
+			continue
+		}
+		if best < 0 || n < bestLoad {
+			best, bestLoad = ni, n
+		}
+	}
+	return best
+}

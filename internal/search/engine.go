@@ -1,0 +1,145 @@
+// Package search is the pluggable mapping-optimizer subsystem. The paper's
+// Phase 2 heuristic (internal/core) is one-shot and greedy; related work on
+// mesh mapping shows metaheuristics routinely find smaller or better-loaded
+// networks from the same inputs. This package defines a common Engine
+// interface over the prepared use-cases, a unified cost model on top of
+// core.Stats, and three engines:
+//
+//   - greedy:    the paper's Algorithm 2, unchanged (core.Map).
+//   - anneal:    simulated annealing over core placements, re-routing and
+//     re-reserving slots for every candidate via core.EvaluateFixed,
+//     including attempts to shrink below the greedy mesh size.
+//   - portfolio: a parallel multi-start portfolio that races the greedy
+//     engine against N deterministically-seeded annealers under a shared
+//     context and wall-clock budget and returns the best feasible result.
+//
+// Every future strategy (genetic search, tabu, ILP) plugs in by registering
+// another Engine.
+package search
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"nocmap/internal/core"
+	"nocmap/internal/usecase"
+)
+
+// Engine is one mapping strategy. Search returns the best mapping the
+// strategy found, or an error when it found none (infeasible design,
+// cancelled context before any solution).
+type Engine interface {
+	Name() string
+	Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+		p core.Params, opts Options) (*core.Result, error)
+}
+
+// Options tune the search engines. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	// Seed is the base PRNG seed. Every derived seed (multi-start annealers)
+	// is a deterministic function of it, so a fixed Seed reproduces the run.
+	Seed int64
+	// Seeds is the number of multi-start annealers the portfolio launches in
+	// addition to the greedy engine.
+	Seeds int
+	// Budget bounds the wall-clock time of one Search call; zero means
+	// unbounded. Engines return their best-so-far when the budget expires.
+	Budget time.Duration
+	// Workers caps the goroutines of the portfolio pool (default: one per
+	// job).
+	Workers int
+	// Iters is the number of annealing moves per start.
+	Iters int
+	// Restarts is how many random placements the annealer tries per
+	// smaller-than-greedy mesh size when probing for a feasible start.
+	Restarts int
+	// Weights score candidate mappings.
+	Weights CostWeights
+
+	// base, when set, is a precomputed greedy result the annealer starts
+	// from instead of running core.Map itself. The portfolio uses it to run
+	// the deterministic greedy pass once for all members.
+	base *core.Result
+}
+
+// DefaultOptions returns the evaluation defaults: a modest annealing length
+// that keeps D1-class designs interactive, four portfolio seeds, no budget.
+func DefaultOptions() Options {
+	return Options{
+		Seed:     1,
+		Seeds:    4,
+		Iters:    120,
+		Restarts: 3,
+		Weights:  DefaultCostWeights(),
+	}
+}
+
+// Validate rejects nonsensical option combinations.
+func (o Options) Validate() error {
+	switch {
+	case o.Seeds < 0:
+		return fmt.Errorf("search: seeds %d invalid", o.Seeds)
+	case o.Iters < 0:
+		return fmt.Errorf("search: iters %d invalid", o.Iters)
+	case o.Restarts < 0:
+		return fmt.Errorf("search: restarts %d invalid", o.Restarts)
+	case o.Budget < 0:
+		return fmt.Errorf("search: budget %v invalid", o.Budget)
+	case o.Workers < 0:
+		return fmt.Errorf("search: workers %d invalid", o.Workers)
+	}
+	return nil
+}
+
+// CostWeights combine the paper's size metric with the load statistics of
+// core.Stats into one scalar objective. Switch count dominates by
+// construction — a mapping on a smaller mesh always wins — with mean mesh
+// hops and the worst slot-table occupancy breaking ties within one size.
+type CostWeights struct {
+	SwitchCount float64
+	MeanHops    float64
+	MaxUtil     float64
+}
+
+// DefaultCostWeights weight one saved switch above any achievable hop or
+// utilization improvement (hops and utilization are bounded far below 1000
+// on every mesh the growth loop visits).
+func DefaultCostWeights() CostWeights {
+	return CostWeights{SwitchCount: 1000, MeanHops: 1, MaxUtil: 10}
+}
+
+// Of scores a result; lower is better.
+func (w CostWeights) Of(r *core.Result) float64 {
+	return w.SwitchCount*float64(r.Mapping.SwitchCount()) +
+		w.MeanHops*r.Stats.AvgMeshHops +
+		w.MaxUtil*r.Stats.MaxLinkUtil
+}
+
+// engines is the registry; New resolves names against it.
+var engines = map[string]func() Engine{
+	"greedy":    func() Engine { return Greedy{} },
+	"anneal":    func() Engine { return Anneal{} },
+	"portfolio": func() Engine { return Portfolio{} },
+}
+
+// New returns the engine registered under name.
+func New(name string) (Engine, error) {
+	mk, ok := engines[name]
+	if !ok {
+		return nil, fmt.Errorf("search: unknown engine %q (have %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// Names lists the registered engines in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(engines))
+	for n := range engines {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

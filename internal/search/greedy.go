@@ -1,0 +1,30 @@
+package search
+
+import (
+	"context"
+
+	"nocmap/internal/core"
+	"nocmap/internal/usecase"
+)
+
+// Greedy wraps the paper's Algorithm 2 (core.Map) behind the Engine
+// interface. It is the portfolio's safety net: deterministic, fast, and the
+// baseline every metaheuristic engine must beat or match.
+type Greedy struct{}
+
+// Name implements Engine.
+func (Greedy) Name() string { return "greedy" }
+
+// Search implements Engine by running the constructive heuristic once. The
+// context is only consulted up front — one greedy pass is the smallest unit
+// of work in this subsystem.
+func (Greedy) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+	p core.Params, opts Options) (*core.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.Map(prep, numCores, p)
+}

@@ -1,0 +1,105 @@
+package search
+
+import (
+	"context"
+	"sync"
+
+	"nocmap/internal/core"
+	"nocmap/internal/usecase"
+)
+
+// Portfolio runs the greedy engine once and races Options.Seeds
+// deterministically-seeded annealers (all starting from the greedy result)
+// on a shared worker pool, returning the best feasible result under the
+// cost weights. All workers observe one context: external cancellation and
+// the wall-clock budget stop the whole portfolio, with each annealer
+// contributing its best-so-far. Ties break toward the greedy base, then the
+// lowest-numbered annealer, so with a fixed base seed and no budget the
+// outcome is independent of goroutine scheduling.
+type Portfolio struct{}
+
+// Name implements Engine.
+func (Portfolio) Name() string { return "portfolio" }
+
+// job is one engine run of the portfolio.
+type job struct {
+	order  int
+	engine Engine
+	opts   Options
+}
+
+// Search implements Engine.
+func (Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+	p core.Params, opts Options) (*core.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// The greedy pass is deterministic, so it runs once up front; the
+	// annealers all start from its result. If greedy finds no mapping the
+	// annealers cannot either — they explore from the greedy solution.
+	base, err := Greedy{}.Search(ctx, prep, numCores, p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// The member annealers run without their own budget (the shared context
+	// carries it) and with derived seeds.
+	var jobs []job
+	for i := 0; i < opts.Seeds; i++ {
+		o := opts
+		o.Budget = 0
+		o.Seed = opts.Seed + int64(i)*7919 // distinct deterministic streams
+		o.base = base
+		jobs = append(jobs, job{order: i + 1, engine: Anneal{}, opts: o})
+	}
+
+	workers := opts.Workers
+	if workers <= 0 || workers > len(jobs) {
+		workers = len(jobs)
+	}
+	type outcome struct {
+		order int
+		res   *core.Result
+		err   error
+	}
+	results := make([]outcome, len(jobs))
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				j := jobs[i]
+				res, err := j.engine.Search(ctx, prep, numCores, p, j.opts)
+				results[i] = outcome{order: j.order, res: res, err: err}
+			}
+		}()
+	}
+	for i := range jobs {
+		queue <- i
+	}
+	close(queue)
+	wg.Wait()
+
+	best, bestCost, bestOrder := base, opts.Weights.Of(base), 0
+	for _, o := range results {
+		if o.err != nil {
+			continue // the greedy base already guarantees a feasible result
+		}
+		c := opts.Weights.Of(o.res)
+		if c < bestCost-1e-12 || (c < bestCost+1e-12 && o.order < bestOrder) {
+			best, bestCost, bestOrder = o.res, c, o.order
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,215 @@
+package search
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/core"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+// fig5 is the paper's two-use-case worked example: small enough that every
+// engine finishes in milliseconds.
+func fig5(t *testing.T) (*usecase.Prepared, int) {
+	t.Helper()
+	d := &traffic.Design{
+		Name:  "fig5",
+		Cores: traffic.MakeCores(4),
+		UseCases: []*traffic.UseCase{
+			{Name: "use-case-1", Flows: []traffic.Flow{
+				{Src: 0, Dst: 1, BandwidthMBs: 10},
+				{Src: 1, Dst: 2, BandwidthMBs: 75},
+				{Src: 2, Dst: 3, BandwidthMBs: 100},
+			}},
+			{Name: "use-case-2", Flows: []traffic.Flow{
+				{Src: 2, Dst: 3, BandwidthMBs: 42},
+				{Src: 0, Dst: 2, BandwidthMBs: 11},
+				{Src: 1, Dst: 3, BandwidthMBs: 52},
+			}},
+		},
+	}
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prep, d.NumCores()
+}
+
+func d1(t *testing.T) (*usecase.Prepared, int) {
+	t.Helper()
+	d, err := bench.D1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prep, d.NumCores()
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"anneal", "greedy", "portfolio"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+		e, err := New(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() != want[i] {
+			t.Fatalf("New(%q).Name() = %q", want[i], e.Name())
+		}
+	}
+	if _, err := New("tabu"); err == nil {
+		t.Fatal("New(tabu) should fail until the engine exists")
+	}
+}
+
+func TestGreedyMatchesCoreMap(t *testing.T) {
+	prep, n := fig5(t)
+	p := core.DefaultParams()
+	want, err := core.Map(prep, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Greedy{}.Search(context.Background(), prep, n, p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mapping.SwitchCount() != want.Mapping.SwitchCount() || got.Stats != want.Stats {
+		t.Fatalf("greedy engine diverged from core.Map: %+v vs %+v", got.Stats, want.Stats)
+	}
+}
+
+// TestAnnealDeterministic: a fixed seed must reproduce the run exactly —
+// same placement, same statistics.
+func TestAnnealDeterministic(t *testing.T) {
+	prep, n := fig5(t)
+	p := core.DefaultParams()
+	opts := DefaultOptions()
+	opts.Seed = 42
+	run := func() *core.Result {
+		r, err := Anneal{}.Search(context.Background(), prep, n, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Stats != b.Stats {
+		t.Fatalf("anneal not deterministic under fixed seed: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for c := range a.Mapping.CoreSwitch {
+		if a.Mapping.CoreSwitch[c] != b.Mapping.CoreSwitch[c] || a.Mapping.CoreNI[c] != b.Mapping.CoreNI[c] {
+			t.Fatalf("anneal placements diverge at core %d", c)
+		}
+	}
+}
+
+// TestAnnealNeverWorseThanGreedyD1: on the D1 suite the annealer must not
+// lose to its own starting point, in switch count or in weighted cost.
+func TestAnnealNeverWorseThanGreedyD1(t *testing.T) {
+	prep, n := d1(t)
+	p := core.DefaultParams()
+	opts := DefaultOptions()
+	greedy, err := core.Map(prep, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		opts.Seed = seed
+		res, err := Anneal{}.Search(context.Background(), prep, n, p, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Mapping.SwitchCount() > greedy.Mapping.SwitchCount() {
+			t.Fatalf("seed %d: anneal used %d switches, greedy %d",
+				seed, res.Mapping.SwitchCount(), greedy.Mapping.SwitchCount())
+		}
+		if got, want := opts.Weights.Of(res), opts.Weights.Of(greedy); got > want+1e-9 {
+			t.Fatalf("seed %d: anneal cost %.6f worse than greedy %.6f", seed, got, want)
+		}
+	}
+}
+
+func TestPortfolioDeterministicAndNotWorse(t *testing.T) {
+	prep, n := fig5(t)
+	p := core.DefaultParams()
+	opts := DefaultOptions()
+	opts.Seeds = 3
+	greedy, err := core.Map(prep, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *core.Result {
+		r, err := Portfolio{}.Search(context.Background(), prep, n, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Stats != b.Stats {
+		t.Fatalf("portfolio not deterministic under fixed seed: %+v vs %+v", a.Stats, b.Stats)
+	}
+	if got, want := opts.Weights.Of(a), opts.Weights.Of(greedy); got > want+1e-9 {
+		t.Fatalf("portfolio cost %.6f worse than greedy %.6f", got, want)
+	}
+}
+
+// TestPortfolioCancellation: a context cancelled before the search starts
+// must surface promptly as an error, not hang the worker pool.
+func TestPortfolioCancellation(t *testing.T) {
+	prep, n := d1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Portfolio{}.Search(ctx, prep, n, core.DefaultParams(), DefaultOptions())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled portfolio returned no error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled portfolio did not return")
+	}
+}
+
+// TestPortfolioBudget: with a tight wall-clock budget the portfolio still
+// terminates and, because the greedy member runs to completion, still
+// produces a feasible result.
+func TestPortfolioBudget(t *testing.T) {
+	prep, n := d1(t)
+	opts := DefaultOptions()
+	opts.Budget = 50 * time.Millisecond
+	done := make(chan struct{})
+	var res *core.Result
+	var err error
+	go func() {
+		res, err = Portfolio{}.Search(context.Background(), prep, n, core.DefaultParams(), opts)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("budgeted portfolio did not terminate")
+	}
+	if err != nil {
+		t.Fatalf("budgeted portfolio failed: %v", err)
+	}
+	if res == nil || res.Mapping == nil {
+		t.Fatal("budgeted portfolio returned no mapping")
+	}
+}
