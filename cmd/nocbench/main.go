@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"strings"
 	"time"
 
 	"nocmap/internal/bench"
@@ -26,9 +28,18 @@ var (
 	budget = flag.Duration("budget", 0, "per-search wall-clock budget for the engines table (0 = unbounded)")
 )
 
+// figures lists the valid -fig values in presentation order.
+var figures = []string{"6a", "6b", "6c", "7a", "7b", "7c", "62", "headline", "engines"}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 6a|6b|6c|7a|7b|7c|62|headline|engines|all")
+	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(figures, "|")+"|all")
 	flag.Parse()
+
+	if *fig != "all" && !slices.Contains(figures, *fig) {
+		fmt.Fprintf(os.Stderr, "nocbench: unknown -fig %q; valid figures: %s, all\n",
+			*fig, strings.Join(figures, ", "))
+		os.Exit(2)
+	}
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"nocmap/internal/service"
+)
+
+// runRemote delegates the mapping to a nocserved daemon: the design file is
+// embedded verbatim in a POST /map request and the returned summary is
+// printed in the same shape as a local run, plus the cache verdict.
+func runRemote(server, in, engine string, seed int64, seeds int, budget time.Duration,
+	freq float64, slots, maxDim int, improve bool) error {
+	design, err := os.ReadFile(in)
+	if err != nil {
+		return fmt.Errorf("read design: %w", err)
+	}
+	mr := service.MapRequest{
+		Design:  json.RawMessage(design),
+		Engine:  engine,
+		Seed:    &seed,
+		Seeds:   &seeds,
+		FreqMHz: &freq,
+		Slots:   &slots,
+		MaxDim:  &maxDim,
+		Improve: improve,
+	}
+	if budget > 0 {
+		mr.Budget = budget.String()
+	}
+	body, err := json.Marshal(mr)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(server, "/") + "/map"
+	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("post %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(httpResp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, httpResp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", httpResp.StatusCode)
+	}
+	var resp service.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return fmt.Errorf("decode server response: %w", err)
+	}
+
+	r := resp.Result
+	verdict := "computed"
+	if resp.Cached {
+		verdict = "cache hit"
+	}
+	fmt.Printf("design %q: %d cores, %d use-cases (server %s, %s)\n",
+		r.Design, len(r.CoreSwitch), len(r.UseCases), server, verdict)
+	fmt.Printf("mapped onto %dx%d mesh (%d switches) at %.0f MHz (engine %s)\n",
+		r.Rows, r.Cols, r.Switches, freq, resp.Engine)
+	fmt.Printf("stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
+		r.MaxLinkUtil*100, r.AvgMeshHops, r.SlotsReserved)
+	if len(r.Violations) > 0 {
+		for _, v := range r.Violations {
+			fmt.Fprintln(os.Stderr, "verify:", v)
+		}
+		return fmt.Errorf("%d verification violations", len(r.Violations))
+	}
+	fmt.Println("verification: all invariants hold")
+	fmt.Printf("area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
+		r.AreaMM2, r.PowerMW, freq)
+	return nil
+}

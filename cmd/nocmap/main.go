@@ -9,6 +9,9 @@
 //	nocmap -in design.json [-engine greedy|anneal|portfolio] [-seeds 4]
 //	       [-budget 30s] [-freq 500] [-slots 64] [-vhdl noc.vhd]
 //	       [-config prefix] [-placement place.txt] [-improve]
+//
+// With -server URL the design is mapped by a running nocserved daemon
+// instead of in-process, so repeated invocations share its result cache.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
 
 	"nocmap/internal/area"
@@ -44,12 +48,29 @@ func main() {
 	config := flag.String("config", "", "write per-use-case slot-table images to <prefix>-<usecase>.cfg")
 	placement := flag.String("placement", "", "write core placement table to this file")
 	simulate := flag.Bool("sim", false, "validate every configuration with the slot-accurate simulator")
+	server := flag.String("server", "", "delegate to a running nocserved at this base URL (e.g. http://localhost:8080)")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "nocmap: -in is required: pass the design JSON file to map")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if !slices.Contains(search.Names(), *engine) {
+		fmt.Fprintf(os.Stderr, "nocmap: unknown -engine %q; valid engines: %s\n",
+			*engine, strings.Join(search.Names(), ", "))
+		os.Exit(2)
+	}
+	if *server != "" {
+		if *vhdl != "" || *config != "" || *placement != "" || *simulate {
+			fmt.Fprintln(os.Stderr, "nocmap: -vhdl/-config/-placement/-sim need the full mapping and run locally; drop -server to use them")
+			os.Exit(2)
+		}
+		if err := runRemote(*server, *in, *engine, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
+			fmt.Fprintln(os.Stderr, "nocmap:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	opts := search.DefaultOptions()
 	opts.Seed = *seed

@@ -1,0 +1,72 @@
+// Command nocserved serves the mapping methodology over HTTP/JSON: a
+// long-lived daemon with a bounded worker pool, canonical-digest result
+// caching, and single-flight deduplication of identical requests
+// (internal/service).
+//
+// Usage:
+//
+//	nocserved [-addr :8080] [-workers 8] [-queue 64] [-cache 128]
+//	          [-timeout 0]
+//
+// Endpoints:
+//
+//	POST /map       map one design (async with {"async":true})
+//	POST /batch     map many designs in one call
+//	GET  /jobs/{id} poll an async job
+//	GET  /healthz   liveness
+//	GET  /stats     cache and pool gauges
+//
+// The request body of /map embeds a design in the standard interchange
+// format under "design"; see docs/cli.md for a full curl session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nocmap/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "engine-run workers (0 = one per CPU)")
+	queue := flag.Int("queue", 64, "bounded job-queue depth (backpressure beyond this)")
+	cacheEntries := flag.Int("cache", 128, "result-cache entries (LRU)")
+	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "nocserved: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain before Close
+	}()
+
+	fmt.Printf("nocserved: listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "nocserved:", err)
+		os.Exit(1)
+	}
+	<-done
+	svc.Close()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -16,6 +17,15 @@ import (
 // loop performs the unified mapping, path selection and slot reservation
 // (steps 2-7). It returns the smallest feasible mapping.
 func Map(prep *usecase.Prepared, numCores int, p Params) (*Result, error) {
+	return MapContext(context.Background(), prep, numCores, p)
+}
+
+// MapContext is Map with cancellation: the context is consulted before every
+// mesh size of the growth loop, so a server-side deadline or client
+// disconnect stops a long infeasible search between attempts. One attempt
+// (one mesh size) is the unit of cancellation — it is the smallest step
+// after which the partial trace is still meaningful.
+func MapContext(ctx context.Context, prep *usecase.Prepared, numCores int, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -26,6 +36,9 @@ func Map(prep *usecase.Prepared, numCores int, p Params) (*Result, error) {
 	var attempts []Attempt
 	var lastErr error
 	for _, dim := range topology.GrowthSequence(p.MaxMeshDim) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if dim.Switches()*p.CoresPerSwitch() < active {
 			attempts = append(attempts, Attempt{Dim: dim, Skipped: true})
 			continue

@@ -8,6 +8,10 @@
 // selection may use arbitrary paths. Best-effort traffic uses dimension-
 // ordered (XY) routing, which is deadlock-free under the turn model; the
 // package provides the XY generator and a turn-legality checker for it.
+//
+// The package is stateless: every query reads the caller's topology and
+// slot-table state and allocates nothing shared, so concurrent engine runs
+// on the service worker pool route independently without locking.
 package route
 
 import (

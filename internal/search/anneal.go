@@ -31,21 +31,25 @@ func (Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The greedy base is computed outside the budget: Options.Budget bounds
+	// the improvement search, not feasibility, so a tight budget degrades to
+	// the greedy result instead of to an error. External cancellation via
+	// ctx still aborts the base — that is a hard deadline, not a budget.
+	base := opts.base
+	if base == nil {
+		var err error
+		base, err = core.MapContext(ctx, prep, numCores, p)
+		if err != nil {
+			return nil, err
+		}
+	}
 	if opts.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
 		defer cancel()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	base := opts.base
-	if base == nil {
-		var err error
-		base, err = core.Map(prep, numCores, p)
-		if err != nil {
-			return nil, err
-		}
 	}
 	a := &annealer{
 		prep: prep, numCores: numCores, p: p, opts: opts,

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"nocmap/internal/core"
@@ -45,8 +46,12 @@ type Options struct {
 	// Seeds is the number of multi-start annealers the portfolio launches in
 	// addition to the greedy engine.
 	Seeds int
-	// Budget bounds the wall-clock time of one Search call; zero means
-	// unbounded. Engines return their best-so-far when the budget expires.
+	// Budget bounds the wall-clock time of the improvement phase of one
+	// Search call; zero means unbounded. Engines return their best-so-far
+	// when the budget expires. The constructive greedy base always runs to
+	// completion (a truncated constructive pass has nothing to return), so
+	// a budgeted anneal/portfolio degrades to the greedy result, never to
+	// an error; only external context cancellation aborts outright.
 	Budget time.Duration
 	// Workers caps the goroutines of the portfolio pool (default: one per
 	// job).
@@ -118,16 +123,31 @@ func (w CostWeights) Of(r *core.Result) float64 {
 		w.MaxUtil*r.Stats.MaxLinkUtil
 }
 
-// engines is the registry; New resolves names against it.
-var engines = map[string]func() Engine{
-	"greedy":    func() Engine { return Greedy{} },
-	"anneal":    func() Engine { return Anneal{} },
-	"portfolio": func() Engine { return Portfolio{} },
+// engines is the registry; New resolves names against it. The mutex makes
+// registration safe while a concurrent service resolves engines.
+var (
+	enginesMu sync.RWMutex
+	engines   = map[string]func() Engine{
+		"greedy":    func() Engine { return Greedy{} },
+		"anneal":    func() Engine { return Anneal{} },
+		"portfolio": func() Engine { return Portfolio{} },
+	}
+)
+
+// Register adds (or replaces) an engine constructor under name. Strategies
+// outside this package — and test doubles — plug into every consumer
+// (nocmap, nocbench, the mapping service) by registering here.
+func Register(name string, mk func() Engine) {
+	enginesMu.Lock()
+	defer enginesMu.Unlock()
+	engines[name] = mk
 }
 
 // New returns the engine registered under name.
 func New(name string) (Engine, error) {
+	enginesMu.RLock()
 	mk, ok := engines[name]
+	enginesMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("search: unknown engine %q (have %v)", name, Names())
 	}
@@ -136,6 +156,8 @@ func New(name string) (Engine, error) {
 
 // Names lists the registered engines in sorted order.
 func Names() []string {
+	enginesMu.RLock()
+	defer enginesMu.RUnlock()
 	out := make([]string, 0, len(engines))
 	for n := range engines {
 		out = append(out, n)

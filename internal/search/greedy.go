@@ -15,16 +15,18 @@ type Greedy struct{}
 // Name implements Engine.
 func (Greedy) Name() string { return "greedy" }
 
-// Search implements Engine by running the constructive heuristic once. The
-// context is only consulted up front — one greedy pass is the smallest unit
-// of work in this subsystem.
+// Search implements Engine by running the constructive heuristic once.
+// External cancellation (a caller deadline, a disconnected service client)
+// is observed between mesh sizes of the growth loop (core.MapContext).
+// Options.Budget deliberately does not apply here: greedy has no
+// best-so-far to salvage from a truncated constructive pass, so a budget
+// would only turn "slow" into "no result". Budgets bound the improvement
+// engines built on top (anneal, portfolio), which fall back to this
+// engine's completed result.
 func (Greedy) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 	p core.Params, opts Options) (*core.Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return core.Map(prep, numCores, p)
+	return core.MapContext(ctx, prep, numCores, p)
 }

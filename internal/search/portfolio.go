@@ -34,21 +34,23 @@ func (Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores in
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Budget > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
-		defer cancel()
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
-	// The greedy pass is deterministic, so it runs once up front; the
-	// annealers all start from its result. If greedy finds no mapping the
-	// annealers cannot either — they explore from the greedy solution.
+	// The greedy pass is deterministic, so it runs once up front — outside
+	// the budget, so even a budget too tight for any annealing still yields
+	// the feasible greedy result. The annealers all start from its result;
+	// if greedy finds no mapping the annealers cannot either, since they
+	// explore from the greedy solution.
 	base, err := Greedy{}.Search(ctx, prep, numCores, p, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
 	}
 
 	// The member annealers run without their own budget (the shared context

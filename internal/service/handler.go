@@ -1,0 +1,228 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nocmap/internal/core"
+	"nocmap/internal/search"
+	"nocmap/internal/traffic"
+)
+
+// MapRequest is the wire form of one mapping request. Design embeds the
+// standard design interchange JSON (the format nocgen writes and nocmap
+// reads) unchanged; the remaining fields override the engine defaults.
+// Pointer fields distinguish "absent" from an explicit zero.
+type MapRequest struct {
+	Design json.RawMessage `json:"design"`
+	// Engine picks the search engine (default "greedy").
+	Engine string `json:"engine,omitempty"`
+	// Seed, Seeds, Iters override search.DefaultOptions.
+	Seed  *int64 `json:"seed,omitempty"`
+	Seeds *int   `json:"seeds,omitempty"`
+	Iters *int   `json:"iters,omitempty"`
+	// Budget is a Go duration string ("30s") bounding the search.
+	Budget string `json:"budget,omitempty"`
+	// FreqMHz, Slots, MaxDim, Improve override core.DefaultParams.
+	FreqMHz *float64 `json:"freq_mhz,omitempty"`
+	Slots   *int     `json:"slots,omitempty"`
+	MaxDim  *int     `json:"max_dim,omitempty"`
+	Improve bool     `json:"improve,omitempty"`
+	// TimeoutMS bounds the engine run, measured from when a worker picks
+	// the job up; time spent waiting in the queue does not count.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async makes POST /map return a job ID immediately (HTTP 202) instead
+	// of the result; poll GET /jobs/{id} for completion.
+	Async bool `json:"async,omitempty"`
+}
+
+// ToRequest validates the wire form into a service Request.
+func (mr *MapRequest) ToRequest() (Request, error) {
+	var req Request
+	if len(mr.Design) == 0 {
+		return req, fmt.Errorf("service: request has no design")
+	}
+	d, err := traffic.ReadJSON(bytes.NewReader(mr.Design))
+	if err != nil {
+		return req, err
+	}
+	req.Design = d
+	req.Engine = mr.Engine
+	if req.Engine == "" {
+		req.Engine = "greedy"
+	}
+	req.Params = core.DefaultParams()
+	req.Opts = search.DefaultOptions()
+	if mr.Seed != nil {
+		req.Opts.Seed = *mr.Seed
+	}
+	if mr.Seeds != nil {
+		req.Opts.Seeds = *mr.Seeds
+	}
+	if mr.Iters != nil {
+		req.Opts.Iters = *mr.Iters
+	}
+	if mr.Budget != "" {
+		b, err := time.ParseDuration(mr.Budget)
+		if err != nil {
+			return req, fmt.Errorf("service: bad budget %q: %w", mr.Budget, err)
+		}
+		req.Opts.Budget = b
+	}
+	if mr.FreqMHz != nil {
+		req.Params.FreqMHz = *mr.FreqMHz
+	}
+	if mr.Slots != nil {
+		req.Params.SlotTableSize = *mr.Slots
+	}
+	if mr.MaxDim != nil {
+		req.Params.MaxMeshDim = *mr.MaxDim
+	}
+	req.Params.Improve = mr.Improve
+	if mr.TimeoutMS > 0 {
+		req.Timeout = time.Duration(mr.TimeoutMS) * time.Millisecond
+	}
+	return req, nil
+}
+
+// BatchRequest is the wire form of POST /batch.
+type BatchRequest struct {
+	Requests []MapRequest `json:"requests"`
+}
+
+// BatchResponse is the wire form of the POST /batch reply; Results is in
+// request order.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one entry of a batch reply: a response or an error.
+type BatchResult struct {
+	Response *Response `json:"response,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// NewHandler returns the HTTP facade of the service:
+//
+//	POST /map      — map one design; {"async":true} returns 202 + job ID
+//	POST /batch    — map many designs in one call on the shared pool
+//	GET  /jobs/{id} — job state (queued|running|done|failed) and result
+//	GET  /healthz  — liveness
+//	GET  /stats    — cache hit/miss counters and pool gauges
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /map", func(w http.ResponseWriter, r *http.Request) {
+		var mr MapRequest
+		if err := json.NewDecoder(r.Body).Decode(&mr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		req, err := mr.ToRequest()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if mr.Async {
+			id, err := s.Submit(req)
+			if err != nil {
+				writeError(w, statusOf(err), err)
+				return
+			}
+			st, _ := s.Job(id)
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		resp, err := s.Map(r.Context(), req)
+		if err != nil {
+			writeError(w, statusOf(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+		var br BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		if len(br.Requests) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch has no requests"))
+			return
+		}
+		reqs := make([]Request, len(br.Requests))
+		for i := range br.Requests {
+			req, err := br.Requests[i].ToRequest()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
+				return
+			}
+			reqs[i] = req
+		}
+		items := s.MapBatch(r.Context(), reqs)
+		out := BatchResponse{Results: make([]BatchResult, len(items))}
+		for i, it := range items {
+			out.Results[i] = BatchResult{Response: it.Response}
+			if it.Err != nil {
+				out.Results[i].Error = it.Err.Error()
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+
+	return mux
+}
+
+// statusOf maps service errors to HTTP status codes. Unrecognized errors map
+// to 400: at this point the request has been admitted, so what remains are
+// engine-level rejections of the request's content (bad parameters, invalid
+// prepared use-cases), which are the client's to fix.
+func statusOf(err error) int {
+	var inf *core.InfeasibleError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &inf):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers already sent; nothing to report
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

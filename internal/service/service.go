@@ -1,0 +1,627 @@
+// Package service is the serving layer of the toolkit: it turns the
+// one-shot mapping library (pre-processing → search engine → verification)
+// into a long-lived, concurrent mapping service. Three mechanisms carry the
+// scaling load:
+//
+//   - Canonical design hashing. Every request is keyed by a deterministic
+//     digest over the canonicalized design (traffic.Design.Digest), the
+//     engine name, the architecture parameters and the search options, so
+//     identical requests are recognized regardless of JSON field order or
+//     use-case ordering.
+//   - A result cache with single-flight deduplication. Results are kept in
+//     an LRU keyed by that digest; while a key is being computed, every
+//     further request for it waits on the in-flight job instead of starting
+//     another engine run — N concurrent identical requests cost one run.
+//   - A bounded worker pool. Engine runs execute on a fixed number of
+//     workers behind a bounded queue (backpressure: asynchronous submissions
+//     are rejected with ErrQueueFull when the queue is full, synchronous
+//     ones block until there is room or their context expires). Every job
+//     runs under its own context deadline and is queryable by ID through the
+//     queued → running → done/failed lifecycle.
+//
+// The HTTP facade over this API lives in handler.go and is served by
+// cmd/nocserved; cmd/nocmap -server delegates to it.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"nocmap/internal/area"
+	"nocmap/internal/core"
+	"nocmap/internal/power"
+	"nocmap/internal/search"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+	"nocmap/internal/verify"
+)
+
+// Errors the service reports to callers. The HTTP layer maps them to status
+// codes (429, 503).
+var (
+	// ErrQueueFull is returned by Submit when the job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed is returned for requests arriving after Close.
+	ErrClosed = errors.New("service: closed")
+)
+
+// Config sizes the service. The zero value is usable: Defaults fills in one
+// worker per CPU, a 64-deep queue, a 128-entry cache and no job deadline.
+type Config struct {
+	// Workers is the number of concurrent engine runs (default: NumCPU).
+	Workers int
+	// QueueDepth bounds the jobs waiting for a worker (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 128).
+	CacheEntries int
+	// DefaultTimeout is the per-job deadline applied when a request does not
+	// carry its own; zero means no deadline.
+	DefaultTimeout time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable by ID before
+	// the oldest are forgotten (default 1024). The result cache is unaffected.
+	RetainJobs int
+}
+
+// Defaults returns cfg with every unset field filled in.
+func (cfg Config) Defaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	return cfg
+}
+
+// Request is one mapping problem: a validated design plus the engine and
+// parameters to solve it with.
+type Request struct {
+	Design *traffic.Design
+	// Engine names a registered search engine (search.Names).
+	Engine string
+	// Params are the NoC architecture parameters.
+	Params core.Params
+	// Opts tune the search engines.
+	Opts search.Options
+	// Timeout overrides the service's default per-job deadline when positive.
+	Timeout time.Duration
+}
+
+// Key returns the canonical cache key of the request: a SHA-256 digest over
+// the design digest, the engine name, and every result-affecting parameter
+// and option, written field by field (no struct printing, so the key is
+// stable across Go versions and immune to unexported fields).
+//
+// Options that cannot affect the result are normalized away before hashing
+// so they cannot cause spurious cache misses: Workers is pure scheduling
+// concurrency (every engine is documented scheduling-independent), and the
+// deterministic greedy engine ignores the stochastic options entirely, so
+// for it they all hash as zero. Every other engine — including ones added
+// via search.Register — hashes every remaining option, since the service
+// cannot know which of them the engine reads.
+func (r *Request) Key() (string, error) {
+	if r.Design == nil {
+		return "", fmt.Errorf("service: request has no design")
+	}
+	if _, err := search.New(r.Engine); err != nil {
+		return "", err
+	}
+	if err := r.Params.Validate(); err != nil {
+		return "", err
+	}
+	if err := r.Opts.Validate(); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "nocmap-request-v1\ndesign %s\nengine %s\n", r.Design.Digest(), r.Engine)
+	p := r.Params
+	fmt.Fprintf(h, "params %d %s %d %d %d %d %d %s %s %d %d %t %t %t %d\n",
+		p.LinkWidthBits, hexf(p.FreqMHz), p.SlotTableSize, p.SlotCycles,
+		p.NIsPerSwitch, p.CoresPerNI, p.MaxMeshDim,
+		hexf(p.Cost.HopCost), hexf(p.Cost.LoadWeight), p.Cost.MaxCandidates,
+		p.PlacementCandidates, p.DisableMappedPreference, p.DisableUnifiedSlots,
+		p.Improve, p.ImproveIters)
+	o := r.Opts
+	o.Workers = 0
+	if r.Engine == "greedy" {
+		o = search.Options{}
+	}
+	fmt.Fprintf(h, "opts %d %d %d %d %d %d %s %s %s\n",
+		o.Seed, o.Seeds, int64(o.Budget), o.Workers, o.Iters, o.Restarts,
+		hexf(o.Weights.SwitchCount), hexf(o.Weights.MeanHops), hexf(o.Weights.MaxUtil))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func hexf(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+// State is a job's position in its lifecycle.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Job is one engine run owned by the pool. All fields except ID and Key are
+// guarded by the service mutex; callers observe jobs through JobStatus
+// snapshots.
+type Job struct {
+	ID  string
+	Key string
+
+	req      Request
+	state    State
+	err      error
+	resp     *Response
+	done     chan struct{}
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// JobStatus is an immutable snapshot of a job, safe to serialize.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Key   string `json:"key"`
+	State State  `json:"state"`
+	// Error is set when State is failed.
+	Error string `json:"error,omitempty"`
+	// Result is set when State is done.
+	Result *Response `json:"result,omitempty"`
+	// ElapsedMS is the run time so far (running) or total (finished).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Stats exposes the cache and pool gauges served at /stats.
+type Stats struct {
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	// Deduped counts requests that joined an in-flight identical run instead
+	// of starting their own.
+	Deduped     int64 `json:"deduped"`
+	JobsDone    int64 `json:"jobs_done"`
+	JobsFailed  int64 `json:"jobs_failed"`
+	JobsRunning int   `json:"jobs_running"`
+	QueueLen    int   `json:"queue_len"`
+	QueueDepth  int   `json:"queue_depth"`
+	Workers     int   `json:"workers"`
+}
+
+// Service is a concurrent mapping service; create one with New and release
+// it with Close.
+type Service struct {
+	cfg   Config
+	queue chan *Job
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	// admits tracks admissions between job registration and the enqueue
+	// attempt resolving, so Close can wait for every in-flight sender
+	// before draining the queue.
+	admits sync.WaitGroup
+
+	mu       sync.Mutex
+	closed   bool
+	nextID   int64
+	jobs     map[string]*Job
+	jobOrder []string // finished job IDs, oldest first, for retention
+	flight   map[string]*Job
+	cache    *lruCache
+
+	hits, misses, deduped, jobsDone, jobsFailed int64
+	running                                     int
+}
+
+// New starts a service with cfg.Workers pool workers.
+func New(cfg Config) *Service {
+	cfg = cfg.Defaults()
+	s := &Service{
+		cfg:    cfg,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		jobs:   make(map[string]*Job),
+		flight: make(map[string]*Job),
+		cache:  newLRU(cfg.CacheEntries),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers and fails every job still waiting in the queue.
+// In-flight runs finish; Close returns after the pool is drained.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	// Order matters: first every in-flight admission resolves (enqueues or
+	// abandons — quit guarantees none stays blocked), then the workers
+	// drain out, and only then is the queue provably quiescent to drain.
+	s.admits.Wait()
+	s.wg.Wait()
+	for {
+		select {
+		case j := <-s.queue:
+			s.finish(j, nil, ErrClosed, false)
+		default:
+			return
+		}
+	}
+}
+
+// Map resolves the request synchronously: a cache hit returns immediately,
+// an identical in-flight run is joined, and otherwise the request is
+// enqueued (blocking for queue room) and awaited. The context bounds only
+// the caller's wait — a run that outlives its caller still completes and
+// populates the cache.
+func (s *Service) Map(ctx context.Context, req Request) (*Response, error) {
+	j, resp, err := s.admit(ctx, req, true)
+	if err != nil || resp != nil {
+		return resp, err
+	}
+	select {
+	case <-j.done:
+		return s.outcome(j)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Submit resolves the request asynchronously and returns a job ID to poll.
+// A cache hit yields an already-done job; joining an in-flight run returns
+// that run's ID. A full queue is reported as ErrQueueFull — the service's
+// backpressure signal.
+func (s *Service) Submit(req Request) (string, error) {
+	j, _, err := s.admit(context.Background(), req, false)
+	if err != nil {
+		return "", err
+	}
+	return j.ID, nil
+}
+
+// admit implements the shared front door: cache lookup, single-flight join,
+// then enqueue. When sync is true a full queue blocks (bounded by ctx)
+// instead of failing; the returned Response is non-nil only on a cache hit.
+func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Response, error) {
+	key, err := req.Key()
+	if err != nil {
+		return nil, nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	if resp, ok := s.cache.get(key); ok {
+		s.hits++
+		if sync {
+			s.mu.Unlock()
+			return nil, resp.cached(), nil
+		}
+		// Async callers poll a job either way; synthesize a done one.
+		j := s.newJobLocked(key, req)
+		j.state = StateDone
+		j.resp = resp.cached()
+		j.finished = time.Now()
+		close(j.done)
+		s.retainLocked(j)
+		s.mu.Unlock()
+		return j, nil, nil
+	}
+	if j, ok := s.flight[key]; ok {
+		s.deduped++
+		s.mu.Unlock()
+		return j, nil, nil
+	}
+	s.misses++
+	j := s.newJobLocked(key, req)
+	s.flight[key] = j
+	s.admits.Add(1)
+	s.mu.Unlock()
+	defer s.admits.Done()
+
+	if sync {
+		select {
+		case s.queue <- j:
+			return j, nil, nil
+		case <-ctx.Done():
+			s.abandon(j, ctx.Err())
+			return nil, nil, ctx.Err()
+		case <-s.quit:
+			s.abandon(j, ErrClosed)
+			return nil, nil, ErrClosed
+		}
+	}
+	select {
+	case s.queue <- j:
+		return j, nil, nil
+	default:
+		s.abandon(j, ErrQueueFull)
+		return nil, nil, ErrQueueFull
+	}
+}
+
+func (s *Service) newJobLocked(key string, req Request) *Job {
+	s.nextID++
+	j := &Job{
+		ID:       "j" + strconv.FormatInt(s.nextID, 10),
+		Key:      key,
+		req:      req,
+		state:    StateQueued,
+		done:     make(chan struct{}),
+		enqueued: time.Now(),
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// abandon fails a job that never made it into the queue. Identical requests
+// may already have joined its flight between registration and the failed
+// enqueue, so the job must be finished — waking every joiner with the
+// admission error — not silently deleted, or those joiners would wait on
+// j.done forever.
+func (s *Service) abandon(j *Job, err error) {
+	s.finish(j, nil, err, false)
+}
+
+// Job returns a snapshot of the job, if it is still retained.
+func (s *Service) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	st := JobStatus{ID: j.ID, Key: j.Key, State: j.state, Result: j.resp}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	switch {
+	case !j.finished.IsZero():
+		st.ElapsedMS = j.finished.Sub(j.enqueued).Milliseconds()
+	default:
+		st.ElapsedMS = time.Since(j.enqueued).Milliseconds()
+	}
+	return st, true
+}
+
+// BatchItem is one outcome of MapBatch, in request order.
+type BatchItem struct {
+	Response *Response
+	Err      error
+}
+
+// MapBatch maps every request on the shared pool and returns when all are
+// resolved. Identical requests inside one batch (or racing other callers)
+// collapse to one engine run via the same single-flight path as Map.
+func (s *Service) MapBatch(ctx context.Context, reqs []Request) []BatchItem {
+	out := make([]BatchItem, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Map(ctx, reqs[i])
+			out[i] = BatchItem{Response: resp, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns the current counters and gauges.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		CacheHits:    s.hits,
+		CacheMisses:  s.misses,
+		CacheEntries: s.cache.len(),
+		Deduped:      s.deduped,
+		JobsDone:     s.jobsDone,
+		JobsFailed:   s.jobsFailed,
+		JobsRunning:  s.running,
+		QueueLen:     len(s.queue),
+		QueueDepth:   s.cfg.QueueDepth,
+		Workers:      s.cfg.Workers,
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.run(j)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// run executes one job under its deadline and publishes the outcome.
+func (s *Service) run(j *Job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.running++
+	s.mu.Unlock()
+
+	ctx := context.Background()
+	timeout := j.req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	resp, err := solve(ctx, j.req)
+	s.finish(j, resp, err, true)
+}
+
+// finish publishes a job outcome: cache insert on success, state flip,
+// flight removal, waiter wakeup, retention bookkeeping. ran is false for
+// jobs drained at Close that never reached a worker.
+func (s *Service) finish(j *Job, resp *Response, err error, ran bool) {
+	s.mu.Lock()
+	if ran {
+		s.running--
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		s.jobsFailed++
+	} else {
+		j.state = StateDone
+		j.resp = resp
+		s.jobsDone++
+		s.cache.put(j.Key, resp)
+	}
+	j.finished = time.Now()
+	delete(s.flight, j.Key)
+	s.retainLocked(j)
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// retainLocked records a finished job and evicts the oldest beyond the
+// retention bound.
+func (s *Service) retainLocked(j *Job) {
+	s.jobOrder = append(s.jobOrder, j.ID)
+	for len(s.jobOrder) > s.cfg.RetainJobs {
+		delete(s.jobs, s.jobOrder[0])
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// outcome reads a finished job's result.
+func (s *Service) outcome(j *Job) (*Response, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.err != nil {
+		return nil, j.err
+	}
+	return j.resp, nil
+}
+
+// solve runs the full pipeline for one request: pre-process, search, verify,
+// summarize. It is deliberately free of service state — the pure function
+// the pool executes.
+func solve(ctx context.Context, req Request) (*Response, error) {
+	eng, err := search.New(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := usecase.Prepare(req.Design)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Search(ctx, prep, req.Design.NumCores(), req.Params, req.Opts)
+	if err != nil {
+		return nil, err
+	}
+	return summarize(req, prep, res), nil
+}
+
+// Response is the service's result envelope. Cached marks a cache hit; the
+// Result payload of a hit is byte-identical to the original run's (the
+// determinism the cache-hit tests assert).
+type Response struct {
+	Key    string `json:"key"`
+	Engine string `json:"engine"`
+	Cached bool   `json:"cached"`
+	Result Result `json:"result"`
+}
+
+// cached returns a copy marked as a cache hit.
+func (r *Response) cached() *Response {
+	c := *r
+	c.Cached = true
+	return &c
+}
+
+// Result is the JSON-serializable summary of one mapping.
+type Result struct {
+	Design   string `json:"design"`
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	Switches int    `json:"switches"`
+
+	MaxLinkUtil   float64 `json:"max_link_util"`
+	AvgMeshHops   float64 `json:"avg_mesh_hops"`
+	SlotsReserved int     `json:"slots_reserved"`
+
+	AreaMM2 float64 `json:"area_mm2"`
+	PowerMW float64 `json:"power_mw"`
+
+	// CoreSwitch and CoreNI give the shared placement (-1 = unattached).
+	CoreSwitch []int `json:"core_switch"`
+	CoreNI     []int `json:"core_ni"`
+
+	UseCases []UseCaseResult `json:"use_cases"`
+
+	// Violations lists analytic verification failures; empty means every
+	// invariant holds.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// UseCaseResult summarizes one use-case of the mapped design.
+type UseCaseResult struct {
+	Name     string `json:"name"`
+	Compound bool   `json:"compound,omitempty"`
+	Flows    int    `json:"flows"`
+	Group    int    `json:"group"`
+}
+
+// summarize flattens an engine result into the wire form.
+func summarize(req Request, prep *usecase.Prepared, res *core.Result) *Response {
+	m := res.Mapping
+	out := Result{
+		Design:        req.Design.Name,
+		Rows:          m.Topology.Rows,
+		Cols:          m.Topology.Cols,
+		Switches:      m.SwitchCount(),
+		MaxLinkUtil:   res.Stats.MaxLinkUtil,
+		AvgMeshHops:   res.Stats.AvgMeshHops,
+		SlotsReserved: res.Stats.SlotsReserved,
+		AreaMM2:       area.DefaultModel().NoCMM2(m),
+		PowerMW:       power.Watts(m.SwitchCount(), req.Params.FreqMHz) * 1000,
+		CoreSwitch:    append([]int(nil), m.CoreSwitch...),
+		CoreNI:        append([]int(nil), m.CoreNI...),
+	}
+	for i, u := range prep.UseCases {
+		out.UseCases = append(out.UseCases, UseCaseResult{
+			Name: u.Name, Compound: u.Compound, Flows: len(u.Flows), Group: prep.GroupOf[i],
+		})
+	}
+	for _, v := range verify.Check(m) {
+		out.Violations = append(out.Violations, v.String())
+	}
+	key, _ := req.Key() // validated at admission; cannot fail here
+	return &Response{Key: key, Engine: req.Engine, Result: out}
+}

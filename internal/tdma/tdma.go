@@ -10,6 +10,11 @@
 // worst-case latency of a flow is the longest wait for its next reserved
 // slot (the maximum cyclic gap between reserved slots) plus the pipeline
 // traversal of the path.
+//
+// A State is mutable and not safe for concurrent use; each mapping attempt
+// (one engine run, one candidate placement) owns its own States, which is
+// how parallel searches — the portfolio engine, the service worker pool —
+// stay independent.
 package tdma
 
 import (

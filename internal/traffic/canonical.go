@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Canonicalize returns a semantically identical deep copy of the design in
+// canonical form: use-cases sorted by name (with ParallelSets and SmoothPairs
+// re-indexed to follow), flows within each use-case sorted by (src, dst),
+// compound part lists sorted, every parallel set sorted ascending with the
+// sets themselves in lexicographic order, and smooth pairs normalized to
+// (low, high) and sorted. Core order is preserved — core IDs are positional
+// and renumbering them would change the design's meaning.
+//
+// Two designs that differ only in use-case order, flow order, or the order
+// of the parallel/smooth declarations canonicalize to equal values, which is
+// what makes Digest a usable cache key.
+func (d *Design) Canonicalize() *Design {
+	out := &Design{Name: d.Name}
+	out.Cores = append([]Core(nil), d.Cores...)
+
+	// Sort use-cases by name and remember where each old index went.
+	perm := make([]int, len(d.UseCases)) // perm[old] = position in sorted order
+	order := make([]int, len(d.UseCases))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return d.UseCases[order[a]].Name < d.UseCases[order[b]].Name
+	})
+	for newIdx, oldIdx := range order {
+		perm[oldIdx] = newIdx
+		u := d.UseCases[oldIdx].Clone()
+		u.SortByPair()
+		sort.Strings(u.Parts)
+		out.UseCases = append(out.UseCases, u)
+	}
+
+	for _, set := range d.ParallelSets {
+		ns := make([]int, len(set))
+		for i, idx := range set {
+			ns[i] = perm[idx]
+		}
+		sort.Ints(ns)
+		out.ParallelSets = append(out.ParallelSets, ns)
+	}
+	sort.Slice(out.ParallelSets, func(a, b int) bool {
+		x, y := out.ParallelSets[a], out.ParallelSets[b]
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+
+	for _, p := range d.SmoothPairs {
+		a, b := perm[p[0]], perm[p[1]]
+		if a > b {
+			a, b = b, a
+		}
+		out.SmoothPairs = append(out.SmoothPairs, [2]int{a, b})
+	}
+	sort.Slice(out.SmoothPairs, func(a, b int) bool {
+		x, y := out.SmoothPairs[a], out.SmoothPairs[b]
+		if x[0] != y[0] {
+			return x[0] < y[0]
+		}
+		return x[1] < y[1]
+	})
+	return out
+}
+
+// SortByPair orders the use-case's flows by (src, dst). Validate guarantees
+// pair uniqueness, so this order is total; it is the canonical flow order
+// used by Digest (SortFlows, by contrast, is the mapper's bandwidth-first
+// processing order).
+func (u *UseCase) SortByPair() {
+	sort.Slice(u.Flows, func(i, j int) bool {
+		a, b := u.Flows[i], u.Flows[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+}
+
+// Digest returns a deterministic SHA-256 hex digest of the canonicalized
+// design. It is independent of JSON field order, use-case order, flow order,
+// and the order of the parallel/smooth declarations, so it identifies a
+// design up to those permutations. Bandwidth and latency values are encoded
+// as exact hexadecimal floats — no rounding, no locale, no float-printing
+// ambiguity.
+func (d *Design) Digest() string {
+	c := d.Canonicalize()
+	h := sha256.New()
+	writeCanonical(h, c)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeCanonical streams the canonical byte encoding of an
+// already-canonicalized design. The format is versioned ("nocmap-design-v1")
+// so a future encoding change invalidates old digests instead of colliding
+// with them.
+func writeCanonical(w io.Writer, c *Design) {
+	fmt.Fprintf(w, "nocmap-design-v1\nname %q\ncores %d\n", c.Name, len(c.Cores))
+	for _, core := range c.Cores {
+		fmt.Fprintf(w, "core %d %q\n", core.ID, core.Name)
+	}
+	for _, u := range c.UseCases {
+		fmt.Fprintf(w, "usecase %q compound=%t parts=%q\n", u.Name, u.Compound, u.Parts)
+		for _, f := range u.Flows {
+			fmt.Fprintf(w, "flow %d %d %s %s\n", f.Src, f.Dst,
+				hexFloat(f.BandwidthMBs), hexFloat(f.MaxLatencyNS))
+		}
+	}
+	for _, set := range c.ParallelSets {
+		fmt.Fprintf(w, "parallel %v\n", set)
+	}
+	for _, p := range c.SmoothPairs {
+		fmt.Fprintf(w, "smooth %d %d\n", p[0], p[1])
+	}
+}
+
+// hexFloat renders a float64 exactly (hexadecimal mantissa/exponent form).
+func hexFloat(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }

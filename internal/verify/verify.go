@@ -19,6 +19,11 @@
 //     slot periods) meets every flow's constraint.
 //  5. Placement — cores sit on valid switches/NIs and NI occupancy respects
 //     the per-NI core bound.
+//
+// Check runs after every mapping the toolkit produces: nocmap refuses to
+// emit back-end artifacts on violations, and the mapping service attaches
+// the violation list to every response it serves (and caches), so a cached
+// answer carries the same verification verdict as the original run.
 package verify
 
 import (
