@@ -29,7 +29,7 @@ var (
 )
 
 // figures lists the valid -fig values in presentation order.
-var figures = []string{"6a", "6b", "6c", "7a", "7b", "7c", "62", "headline", "engines"}
+var figures = []string{"6a", "6b", "6c", "7a", "7b", "7c", "62", "headline", "engines", "topology"}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(figures, "|")+"|all")
@@ -60,6 +60,7 @@ func main() {
 	run("62", sec62)
 	run("headline", headline)
 	run("engines", engines)
+	run("topology", topologyFigure)
 }
 
 func printComparisons(title string, cs []experiments.Comparison) {
@@ -187,6 +188,38 @@ func engines() error {
 		fmt.Printf("%-22s %-10s %10s %10.2f %9.1f%% %12s\n",
 			r.Design, r.Engine, fmt.Sprintf("%s (%d)", r.Dim, r.Switches),
 			r.AvgHops, r.MaxUtil*100, r.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func topologyFigure() error {
+	printTopoRows := func(title string, rows []experiments.TopologyRow) {
+		fmt.Printf("\n%s\n", title)
+		fmt.Printf("%-22s %14s %10s %14s %10s %8s\n",
+			"design", "mesh", "hops", "torus", "hops", "ratio")
+		for _, r := range rows {
+			fmt.Printf("%-22s %14s %10.2f %14s %10.2f %8.3f\n",
+				r.Design,
+				fmt.Sprintf("%s (%d)", r.MeshDim, r.MeshSwitches), r.MeshHops,
+				fmt.Sprintf("%s (%d)", r.TorusDim, r.TorusSwitches), r.TorusHops,
+				r.Ratio)
+		}
+	}
+	designs, err := experiments.TopologyDesigns()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.TopologyComparison(designs)
+	if err != nil {
+		return err
+	}
+	printTopoRows("Topology comparison: smallest feasible mesh vs torus (1 core/switch)", rows)
+	for _, class := range []bench.Class{bench.Spread, bench.Bottleneck} {
+		rows, err := experiments.TopologySweep(class, experiments.DefaultSweep())
+		if err != nil {
+			return err
+		}
+		printTopoRows(fmt.Sprintf("Topology sweep (%s): mesh vs torus over use-cases", class), rows)
 	}
 	return nil
 }

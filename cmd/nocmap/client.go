@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -14,22 +15,25 @@ import (
 
 // runRemote delegates the mapping to a nocserved daemon: the design file is
 // embedded verbatim in a POST /map request and the returned summary is
-// printed in the same shape as a local run, plus the cache verdict.
-func runRemote(server, in, engine string, seed int64, seeds int, budget time.Duration,
+// printed in the same shape as a local run, plus the cache verdict. The
+// topology choice travels as the request's topology field (the server falls
+// back to the design's own tag when it is empty).
+func runRemote(stdout io.Writer, server, in, engine, topo string, seed int64, seeds int, budget time.Duration,
 	freq float64, slots, maxDim int, improve bool) error {
 	design, err := os.ReadFile(in)
 	if err != nil {
 		return fmt.Errorf("read design: %w", err)
 	}
 	mr := service.MapRequest{
-		Design:  json.RawMessage(design),
-		Engine:  engine,
-		Seed:    &seed,
-		Seeds:   &seeds,
-		FreqMHz: &freq,
-		Slots:   &slots,
-		MaxDim:  &maxDim,
-		Improve: improve,
+		Design:   json.RawMessage(design),
+		Engine:   engine,
+		Topology: topo,
+		Seed:     &seed,
+		Seeds:    &seeds,
+		FreqMHz:  &freq,
+		Slots:    &slots,
+		MaxDim:   &maxDim,
+		Improve:  improve,
 	}
 	if budget > 0 {
 		mr.Budget = budget.String()
@@ -63,11 +67,15 @@ func runRemote(server, in, engine string, seed int64, seeds int, budget time.Dur
 	if resp.Cached {
 		verdict = "cache hit"
 	}
-	fmt.Printf("design %q: %d cores, %d use-cases (server %s, %s)\n",
+	fabric := r.Topology
+	if fabric == "" {
+		fabric = "mesh"
+	}
+	fmt.Fprintf(stdout, "design %q: %d cores, %d use-cases (server %s, %s)\n",
 		r.Design, len(r.CoreSwitch), len(r.UseCases), server, verdict)
-	fmt.Printf("mapped onto %dx%d mesh (%d switches) at %.0f MHz (engine %s)\n",
-		r.Rows, r.Cols, r.Switches, freq, resp.Engine)
-	fmt.Printf("stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
+	fmt.Fprintf(stdout, "mapped onto %dx%d %s (%d switches) at %.0f MHz (engine %s)\n",
+		r.Rows, r.Cols, fabric, r.Switches, freq, resp.Engine)
+	fmt.Fprintf(stdout, "stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
 		r.MaxLinkUtil*100, r.AvgMeshHops, r.SlotsReserved)
 	if len(r.Violations) > 0 {
 		for _, v := range r.Violations {
@@ -75,8 +83,8 @@ func runRemote(server, in, engine string, seed int64, seeds int, budget time.Dur
 		}
 		return fmt.Errorf("%d verification violations", len(r.Violations))
 	}
-	fmt.Println("verification: all invariants hold")
-	fmt.Printf("area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
+	fmt.Fprintln(stdout, "verification: all invariants hold")
+	fmt.Fprintf(stdout, "area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
 		r.AreaMM2, r.PowerMW, freq)
 	return nil
 }

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	nocmap -in design.json [-engine greedy|anneal|portfolio] [-seeds 4]
-//	       [-budget 30s] [-freq 500] [-slots 64] [-vhdl noc.vhd]
-//	       [-config prefix] [-placement place.txt] [-improve]
+//	       [-topology mesh|torus|@fabric.json] [-budget 30s] [-freq 500]
+//	       [-slots 64] [-vhdl noc.vhd] [-config prefix]
+//	       [-placement place.txt] [-improve]
 //
 // With -server URL the design is mapped by a running nocserved daemon
 // instead of in-process, so repeated invocations share its result cache.
@@ -18,6 +19,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"slices"
 	"strings"
@@ -28,61 +30,104 @@ import (
 	"nocmap/internal/rtlgen"
 	"nocmap/internal/search"
 	"nocmap/internal/sim"
+	"nocmap/internal/topology"
 	"nocmap/internal/traffic"
 	"nocmap/internal/usecase"
 	"nocmap/internal/verify"
 )
 
 func main() {
-	in := flag.String("in", "", "design JSON file (required)")
-	engine := flag.String("engine", "greedy",
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// topologyChoices is the -topology help/diagnostic listing.
+const topologyChoices = "mesh, torus, @fabric.json"
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code (0 ok, 1 runtime failure, 2 usage error), writing all
+// output to the given streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nocmap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "design JSON file (required)")
+	engine := fs.String("engine", "greedy",
 		"search engine: "+strings.Join(search.Names(), "|"))
-	seed := flag.Int64("seed", 1, "base PRNG seed for the anneal/portfolio engines")
-	seeds := flag.Int("seeds", 4, "multi-start annealers in the portfolio engine")
-	budget := flag.Duration("budget", 0, "wall-clock search budget (0 = unbounded)")
-	freq := flag.Float64("freq", 500, "NoC frequency in MHz")
-	slots := flag.Int("slots", 64, "TDMA slot-table size")
-	maxDim := flag.Int("maxdim", 20, "maximum mesh dimension")
-	improve := flag.Bool("improve", false, "run placement refinement after mapping")
-	vhdl := flag.String("vhdl", "", "write structural VHDL to this file")
-	config := flag.String("config", "", "write per-use-case slot-table images to <prefix>-<usecase>.cfg")
-	placement := flag.String("placement", "", "write core placement table to this file")
-	simulate := flag.Bool("sim", false, "validate every configuration with the slot-accurate simulator")
-	server := flag.String("server", "", "delegate to a running nocserved at this base URL (e.g. http://localhost:8080)")
-	flag.Parse()
+	topoFlag := fs.String("topology", "",
+		"interconnect family: mesh|torus|@fabric.json (default: the design's topology tag, else mesh)")
+	seed := fs.Int64("seed", 1, "base PRNG seed for the anneal/portfolio engines")
+	seeds := fs.Int("seeds", 4, "multi-start annealers in the portfolio engine")
+	budget := fs.Duration("budget", 0, "wall-clock search budget (0 = unbounded)")
+	freq := fs.Float64("freq", 500, "NoC frequency in MHz")
+	slots := fs.Int("slots", 64, "TDMA slot-table size")
+	maxDim := fs.Int("maxdim", 20, "maximum mesh dimension")
+	improve := fs.Bool("improve", false, "run placement refinement after mapping")
+	vhdl := fs.String("vhdl", "", "write structural VHDL to this file")
+	config := fs.String("config", "", "write per-use-case slot-table images to <prefix>-<usecase>.cfg")
+	placement := fs.String("placement", "", "write core placement table to this file")
+	simulate := fs.Bool("sim", false, "validate every configuration with the slot-accurate simulator")
+	server := fs.String("server", "", "delegate to a running nocserved at this base URL (e.g. http://localhost:8080)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "nocmap: -in is required: pass the design JSON file to map")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "nocmap: -in is required: pass the design JSON file to map")
+		fs.Usage()
+		return 2
 	}
 	if !slices.Contains(search.Names(), *engine) {
-		fmt.Fprintf(os.Stderr, "nocmap: unknown -engine %q; valid engines: %s\n",
+		fmt.Fprintf(stderr, "nocmap: unknown -engine %q; valid engines: %s\n",
 			*engine, strings.Join(search.Names(), ", "))
-		os.Exit(2)
+		return 2
+	}
+	if v := *topoFlag; v != "" && !strings.HasPrefix(v, "@") {
+		if _, err := topology.ParseKind(v); err != nil {
+			fmt.Fprintf(stderr, "nocmap: unknown -topology %q; valid choices: %s\n", v, topologyChoices)
+			return 2
+		}
 	}
 	if *server != "" {
 		if *vhdl != "" || *config != "" || *placement != "" || *simulate {
-			fmt.Fprintln(os.Stderr, "nocmap: -vhdl/-config/-placement/-sim need the full mapping and run locally; drop -server to use them")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "nocmap: -vhdl/-config/-placement/-sim need the full mapping and run locally; drop -server to use them")
+			return 2
 		}
-		if err := runRemote(*server, *in, *engine, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
-			fmt.Fprintln(os.Stderr, "nocmap:", err)
-			os.Exit(1)
+		if strings.HasPrefix(*topoFlag, "@") {
+			fmt.Fprintln(stderr, "nocmap: custom fabrics (@file.json) carry their link lists and run locally; drop -server to use them")
+			return 2
 		}
-		return
+		if err := runRemote(stdout, *server, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
+			fmt.Fprintln(stderr, "nocmap:", err)
+			return 1
+		}
+		return 0
 	}
 	opts := search.DefaultOptions()
 	opts.Seed = *seed
 	opts.Seeds = *seeds
 	opts.Budget = *budget
-	if err := run(*in, *engine, opts, *freq, *slots, *maxDim, *improve, *vhdl, *config, *placement, *simulate); err != nil {
-		fmt.Fprintln(os.Stderr, "nocmap:", err)
-		os.Exit(1)
+	if err := runLocal(stdout, stderr, *in, *engine, *topoFlag, opts, *freq, *slots, *maxDim, *improve, *vhdl, *config, *placement, *simulate); err != nil {
+		fmt.Fprintln(stderr, "nocmap:", err)
+		return 1
 	}
+	return 0
 }
 
-func run(in, engine string, opts search.Options, freq float64, slots, maxDim int, improve bool, vhdl, config, placement string, simulate bool) error {
+// resolveTopology turns the -topology argument (or, when empty, the design's
+// own topology tag) into a buildable spec.
+func resolveTopology(topoFlag string, d *traffic.Design) (topology.Spec, error) {
+	arg := topoFlag
+	if arg == "" {
+		tag := d.Topology
+		if strings.HasPrefix(tag, "custom:") {
+			return topology.Spec{}, fmt.Errorf(
+				"design %q targets a custom fabric (%s); pass its description with -topology @fabric.json", d.Name, tag)
+		}
+		arg = tag
+	}
+	return topology.ParseSpec(arg)
+}
+
+func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, opts search.Options, freq float64, slots, maxDim int, improve bool, vhdl, config, placement string, simulate bool) error {
 	eng, err := search.New(engine)
 	if err != nil {
 		return err
@@ -96,11 +141,16 @@ func run(in, engine string, opts search.Options, freq float64, slots, maxDim int
 	if err != nil {
 		return fmt.Errorf("parse design %s: %w", in, err)
 	}
+	spec, err := resolveTopology(topoFlag, d)
+	if err != nil {
+		return err
+	}
+	d.Topology = spec.CanonicalID()
 	prep, err := usecase.Prepare(d)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("design %q: %d cores, %d use-cases (%d compound generated), %d configuration groups\n",
+	fmt.Fprintf(stdout, "design %q: %d cores, %d use-cases (%d compound generated), %d configuration groups\n",
 		d.Name, d.NumCores(), len(prep.UseCases), len(prep.UseCases)-prep.NumOriginal, len(prep.Groups))
 
 	p := core.DefaultParams()
@@ -108,43 +158,44 @@ func run(in, engine string, opts search.Options, freq float64, slots, maxDim int
 	p.SlotTableSize = slots
 	p.MaxMeshDim = maxDim
 	p.Improve = improve
+	p.Topology = spec
 	res, err := eng.Search(context.Background(), prep, d.NumCores(), p, opts)
 	if err != nil {
 		return err
 	}
 	m := res.Mapping
-	fmt.Printf("mapped onto %s at %.0f MHz (engine %s)\n", m.Topology, freq, eng.Name())
-	fmt.Printf("stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
+	fmt.Fprintf(stdout, "mapped onto %s at %.0f MHz (engine %s)\n", m.Topology, freq, eng.Name())
+	fmt.Fprintf(stdout, "stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
 		res.Stats.MaxLinkUtil*100, res.Stats.AvgMeshHops, res.Stats.SlotsReserved)
 
 	if vs := verify.Check(m); len(vs) > 0 {
 		for _, v := range vs {
-			fmt.Fprintln(os.Stderr, "verify:", v)
+			fmt.Fprintln(stderr, "verify:", v)
 		}
 		return fmt.Errorf("%d verification violations", len(vs))
 	}
-	fmt.Println("verification: all invariants hold")
+	fmt.Fprintln(stdout, "verification: all invariants hold")
 
 	model := area.DefaultModel()
-	fmt.Printf("area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
+	fmt.Fprintf(stdout, "area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
 		model.NoCMM2(m), power.Watts(m.SwitchCount(), freq)*1000, freq)
 
 	if simulate {
 		problems := sim.VerifyAgainstAnalytic(m, 16*p.SlotTableSize)
 		if len(problems) > 0 {
 			for _, pr := range problems {
-				fmt.Fprintln(os.Stderr, "sim:", pr)
+				fmt.Fprintln(stderr, "sim:", pr)
 			}
 			return fmt.Errorf("%d simulation problems", len(problems))
 		}
-		fmt.Println("simulation: delivered bandwidth and latency match the guarantees")
+		fmt.Fprintln(stdout, "simulation: delivered bandwidth and latency match the guarantees")
 	}
 
 	if vhdl != "" {
 		if err := writeFile(vhdl, func(w *os.File) error { return rtlgen.WriteVHDL(w, m) }); err != nil {
 			return err
 		}
-		fmt.Println("wrote", vhdl)
+		fmt.Fprintln(stdout, "wrote", vhdl)
 	}
 	if config != "" {
 		for uc := range prep.UseCases {
@@ -153,14 +204,14 @@ func run(in, engine string, opts search.Options, freq float64, slots, maxDim int
 			if err := writeFile(name, func(w *os.File) error { return rtlgen.WriteConfig(w, m, ucCopy) }); err != nil {
 				return err
 			}
-			fmt.Println("wrote", name)
+			fmt.Fprintln(stdout, "wrote", name)
 		}
 	}
 	if placement != "" {
 		if err := writeFile(placement, func(w *os.File) error { return rtlgen.WritePlacement(w, m) }); err != nil {
 			return err
 		}
-		fmt.Println("wrote", placement)
+		fmt.Fprintln(stdout, "wrote", placement)
 	}
 	return nil
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// designFile writes a minimal valid design and returns its path.
+func designFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "design.json")
+	design := `{
+  "name": "tiny",
+  "num_cores": 4,
+  "use_cases": [
+    {"name": "a", "flows": [{"src": 0, "dst": 1, "bandwidth_mbs": 50}, {"src": 2, "dst": 3, "bandwidth_mbs": 20}]}
+  ]
+}`
+	if err := os.WriteFile(path, []byte(design), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunMissingInputExits2(t *testing.T) {
+	code, _, stderr := runCapture(t)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-in is required") {
+		t.Errorf("stderr %q lacks -in diagnosis", stderr)
+	}
+}
+
+func TestRunUnknownEngineExits2(t *testing.T) {
+	code, _, stderr := runCapture(t, "-in", designFile(t), "-engine", "quantum")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	for _, want := range []string{"quantum", "greedy", "anneal", "portfolio"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr %q should mention %q", stderr, want)
+		}
+	}
+}
+
+func TestRunUnknownTopologyExits2(t *testing.T) {
+	code, _, stderr := runCapture(t, "-in", designFile(t), "-topology", "hypercube")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	for _, want := range []string{"hypercube", "mesh", "torus", "@fabric.json"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr %q should mention %q", stderr, want)
+		}
+	}
+}
+
+func TestRunMapsMeshAndTorus(t *testing.T) {
+	in := designFile(t)
+	for _, topo := range []string{"", "mesh", "torus"} {
+		args := []string{"-in", in}
+		if topo != "" {
+			args = append(args, "-topology", topo)
+		}
+		code, stdout, stderr := runCapture(t, args...)
+		if code != 0 {
+			t.Fatalf("-topology %q: exit %d, stderr %q", topo, code, stderr)
+		}
+		if !strings.Contains(stdout, "verification: all invariants hold") {
+			t.Errorf("-topology %q: stdout %q lacks verification line", topo, stdout)
+		}
+	}
+}
+
+func TestRunCustomFabricFromFile(t *testing.T) {
+	fabric := filepath.Join(t.TempDir(), "ring.json")
+	if err := os.WriteFile(fabric, []byte(`{"name":"ring4","switches":4,"links":[[0,1],[1,2],[2,3],[3,0]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCapture(t, "-in", designFile(t), "-topology", "@"+fabric)
+	if code != 0 {
+		t.Fatalf("custom fabric run: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "custom ring4") {
+		t.Errorf("stdout %q should report the custom fabric", stdout)
+	}
+}
+
+func TestRunBadCustomFabricExits1(t *testing.T) {
+	fabric := filepath.Join(t.TempDir(), "broken.json")
+	// Disconnected: switch 3 unreachable.
+	if err := os.WriteFile(fabric, []byte(`{"switches":4,"links":[[0,1],[1,2]]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCapture(t, "-in", designFile(t), "-topology", "@"+fabric)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "disconnected") {
+		t.Errorf("stderr %q should diagnose the disconnected fabric", stderr)
+	}
+}
+
+func TestRunServerRejectsCustomFabric(t *testing.T) {
+	code, _, stderr := runCapture(t, "-in", designFile(t), "-server", "http://localhost:1", "-topology", "@nope.json")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "locally") {
+		t.Errorf("stderr %q should direct the user to a local run", stderr)
+	}
+}

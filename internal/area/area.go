@@ -9,6 +9,7 @@ package area
 
 import (
 	"nocmap/internal/core"
+	"nocmap/internal/topology"
 )
 
 // Model holds the switch-area coefficients.
@@ -47,9 +48,16 @@ func (m Model) SwitchMM2(ports int, freqMHz float64) float64 {
 }
 
 // NoCMM2 sums switch area over a mapping's topology at the mapping's
-// frequency. Ports per switch = mesh neighbours + one per NI.
+// frequency. Ports per switch = fabric neighbours (the switch's actual link
+// degree — 2-4 on a mesh, 4 everywhere on a torus, arbitrary on a custom
+// fabric) + one per NI. On a mesh this equals MeshMM2.
 func (m Model) NoCMM2(mp *core.Mapping) float64 {
-	return m.MeshMM2(mp.Topology.Rows, mp.Topology.Cols, mp.Params.NIsPerSwitch, mp.Params.FreqMHz)
+	var sum float64
+	for s := 0; s < mp.Topology.NumSwitches(); s++ {
+		deg := mp.Topology.Degree(topology.SwitchID(s))
+		sum += m.SwitchMM2(deg+mp.Params.NIsPerSwitch, mp.Params.FreqMHz)
+	}
+	return sum
 }
 
 // MeshMM2 computes the area of a rows x cols mesh where every switch has

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 
 	"nocmap/internal/tdma"
-	"nocmap/internal/topology"
 	"nocmap/internal/usecase"
 )
 
@@ -36,7 +35,6 @@ func improve(m *Mapping, states []*tdma.State, prep *usecase.Prepared, numCores 
 	if len(attached) < 2 {
 		return m, states
 	}
-	dim := topology.Dim{Rows: best.Topology.Rows, Cols: best.Topology.Cols}
 	for it := 0; it < iters; it++ {
 		a := attached[rng.Intn(len(attached))]
 		b := attached[rng.Intn(len(attached))]
@@ -47,7 +45,7 @@ func improve(m *Mapping, states []*tdma.State, prep *usecase.Prepared, numCores 
 		cn := append([]int(nil), best.CoreNI...)
 		cs[a], cs[b] = cs[b], cs[a]
 		cn[a], cn[b] = cn[b], cn[a]
-		cand, candStates, err := attemptMap(prep, numCores, dim, p, &placementFix{CoreSwitch: cs, CoreNI: cn})
+		cand, candStates, err := attemptMap(prep, numCores, best.Topology, p, &placementFix{CoreSwitch: cs, CoreNI: cn})
 		if err != nil {
 			continue
 		}

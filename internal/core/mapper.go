@@ -33,6 +33,27 @@ func MapContext(ctx context.Context, prep *usecase.Prepared, numCores int, p Par
 		return nil, err
 	}
 	active := activeCores(prep, numCores)
+	// A custom fabric is a single fixed instance: no growth loop, one
+	// attempt on the loaded topology.
+	if !p.Topology.Grows() {
+		top, err := p.Topology.ForDim(topology.Dim{}, p.CoresPerSwitch())
+		if err != nil {
+			return nil, err
+		}
+		dim := topology.Dim{Rows: top.Rows, Cols: top.Cols}
+		if top.MaxCores() < active {
+			err := fmt.Errorf("core: %s hosts %d cores, design needs %d", top, top.MaxCores(), active)
+			return nil, &InfeasibleError{Fabric: top.String(), Attempts: []Attempt{{Dim: dim, Skipped: true}}, Last: err}
+		}
+		m, states, err := attemptMap(prep, numCores, top, p, nil)
+		if err != nil {
+			return nil, &InfeasibleError{Fabric: top.String(), Attempts: []Attempt{{Dim: dim, Err: err.Error()}}, Last: err}
+		}
+		if p.Improve {
+			m, states = improve(m, states, prep, numCores, p)
+		}
+		return &Result{Mapping: m, Attempts: []Attempt{{Dim: dim}}, Stats: computeStats(m, states)}, nil
+	}
 	var attempts []Attempt
 	var lastErr error
 	for _, dim := range topology.GrowthSequence(p.MaxMeshDim) {
@@ -43,7 +64,11 @@ func MapContext(ctx context.Context, prep *usecase.Prepared, numCores int, p Par
 			attempts = append(attempts, Attempt{Dim: dim, Skipped: true})
 			continue
 		}
-		m, states, err := attemptMap(prep, numCores, dim, p, nil)
+		top, err := p.Topology.ForDim(dim, p.CoresPerSwitch())
+		if err != nil {
+			return nil, err
+		}
+		m, states, err := attemptMap(prep, numCores, top, p, nil)
 		if err != nil {
 			attempts = append(attempts, Attempt{Dim: dim, Err: err.Error()})
 			lastErr = err
@@ -75,7 +100,9 @@ func ConfigureFixed(prep *usecase.Prepared, numCores int, top *topology.Topology
 // returns the complete Result, including the summary statistics that score
 // the mapping. It is the evaluation hook of the internal/search engines: a
 // candidate placement is feasible exactly when EvaluateFixed succeeds, and
-// its quality is read off the returned Stats.
+// its quality is read off the returned Stats. The given topology is used as
+// is — mesh, torus or custom — so engines explore whatever fabric they
+// built the placement on.
 func EvaluateFixed(prep *usecase.Prepared, numCores int, top *topology.Topology,
 	coreSwitch, coreNI []int, p Params) (*Result, error) {
 	if err := p.Validate(); err != nil {
@@ -85,24 +112,31 @@ func EvaluateFixed(prep *usecase.Prepared, numCores int, top *topology.Topology,
 		return nil, err
 	}
 	fix := &placementFix{CoreSwitch: coreSwitch, CoreNI: coreNI}
-	dim := topology.Dim{Rows: top.Rows, Cols: top.Cols}
-	m, states, err := attemptMap(prep, numCores, dim, p, fix)
+	m, states, err := attemptMap(prep, numCores, top, p, fix)
 	if err != nil {
 		return nil, err
 	}
+	dim := topology.Dim{Rows: top.Rows, Cols: top.Cols}
 	return &Result{Mapping: m, Attempts: []Attempt{{Dim: dim}}, Stats: computeStats(m, states)}, nil
 }
 
-// InfeasibleError reports that no mesh up to the size cap could satisfy
-// every use-case — the outcome the paper reports for the WC method on the
-// 40-use-case benchmarks.
+// InfeasibleError reports that no fabric the search explored could satisfy
+// every use-case: no mesh/torus up to the size cap (the outcome the paper
+// reports for the WC method on the 40-use-case benchmarks), or the one
+// fixed custom fabric.
 type InfeasibleError struct {
+	// MaxDim is the growth-loop cap; zero when a fixed custom fabric (named
+	// by Fabric) was the only candidate.
 	MaxDim   int
+	Fabric   string
 	Attempts []Attempt
 	Last     error
 }
 
 func (e *InfeasibleError) Error() string {
+	if e.Fabric != "" {
+		return fmt.Sprintf("core: no feasible mapping on %s (last: %v)", e.Fabric, e.Last)
+	}
 	return fmt.Sprintf("core: no feasible mapping up to %dx%d mesh (last: %v)", e.MaxDim, e.MaxDim, e.Last)
 }
 
@@ -210,11 +244,7 @@ type placement struct {
 	src, dst           traffic.CoreID
 }
 
-func attemptMap(prep *usecase.Prepared, numCores int, dim topology.Dim, p Params, fix *placementFix) (*Mapping, []*tdma.State, error) {
-	top, err := topology.NewMesh(dim.Rows, dim.Cols, p.CoresPerSwitch())
-	if err != nil {
-		return nil, nil, err
-	}
+func attemptMap(prep *usecase.Prepared, numCores int, top *topology.Topology, p Params, fix *placementFix) (*Mapping, []*tdma.State, error) {
 	m := &mapper{prep: prep, p: p, top: top}
 	m.meshLinks = top.NumLinks()
 	m.totalLinks = m.meshLinks + 2*top.NumSwitches()*p.NIsPerSwitch
@@ -669,11 +699,10 @@ func (m *mapper) rankPlacements(from, group int, core traffic.CoreID, seedShared
 }
 
 // seedSwitches returns up to n switches that can absorb the core's projected
-// demand, scored by distance to the mesh centre plus the projected NI load
-// penalty (deterministic seed order for flows with no mapped endpoint).
+// demand, scored by distance to the topology's centre plus the projected NI
+// load penalty (deterministic seed order for flows with no mapped endpoint).
 func (m *mapper) seedSwitches(n int, core traffic.CoreID) []int {
-	cr, cc := (m.top.Rows-1)/2, (m.top.Cols-1)/2
-	centre := m.top.At(cr, cc)
+	centre := m.top.Centre()
 	type cand struct {
 		s int
 		d float64

@@ -45,6 +45,10 @@ type Params struct {
 	// MaxMeshDim caps the outer growth loop at MaxMeshDim x MaxMeshDim
 	// (default 20, where the paper reports the WC method failing).
 	MaxMeshDim int
+	// Topology selects the interconnect family the search explores: the
+	// growth loop instantiates mesh or torus shapes from it, while a custom
+	// spec pins the search to one fixed fabric (default: mesh).
+	Topology topology.Spec
 	// Cost weights the path-selection objective.
 	Cost route.CostParams
 	// PlacementCandidates bounds how many candidate switches are examined
@@ -76,6 +80,7 @@ func DefaultParams() Params {
 		NIsPerSwitch:        2,
 		CoresPerNI:          4,
 		MaxMeshDim:          20,
+		Topology:            topology.MeshSpec(),
 		Cost:                route.DefaultCostParams(),
 		PlacementCandidates: 6,
 		ImproveIters:        64,
@@ -100,7 +105,7 @@ func (p Params) Validate() error {
 	case p.PlacementCandidates < 1:
 		return fmt.Errorf("core: placement candidates %d invalid", p.PlacementCandidates)
 	}
-	return nil
+	return p.Topology.Validate()
 }
 
 // LinkBandwidthMBs is the raw bandwidth of one link: width/8 bytes per cycle

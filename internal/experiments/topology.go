@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/core"
+	"nocmap/internal/topology"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+// TopologyRow is one design of the fabric comparison: the smallest feasible
+// network the methodology finds on each topology family at identical
+// architecture parameters, with the bandwidth-weighted mean hop count as the
+// quality metric within a size.
+type TopologyRow struct {
+	Design        string
+	MeshDim       string
+	MeshSwitches  int
+	MeshHops      float64
+	TorusDim      string
+	TorusSwitches int
+	TorusHops     float64
+	// Ratio is torus/mesh switch count. Wrap links add path diversity and
+	// halve worst-case distances, so the ratio is expected to be <= 1.
+	Ratio float64
+}
+
+// TopologyParams returns the fabric-comparison parameters: the evaluation
+// defaults tightened to one core per switch (one NI, one core per NI) — the
+// classic NoC mapping assumption — so designs spread across fabrics large
+// enough for wrap links to matter. At the default eight cores per switch
+// every benchmark collapses onto a 2x2, where a torus degenerates to the
+// mesh and the comparison is vacuous.
+func TopologyParams() core.Params {
+	p := Params()
+	p.NIsPerSwitch = 1
+	p.CoresPerNI = 1
+	return p
+}
+
+// TopologyDesigns returns the comparison suite: D1-D4 plus one design per
+// synthetic family from the Figure 6 sweeps.
+func TopologyDesigns() ([]*traffic.Design, error) {
+	return EngineDesigns()
+}
+
+// TopologyComparison maps every design on the mesh and torus families and
+// reports the smallest feasible network of each. Both runs share one set of
+// architecture parameters (TopologyParams), so switch counts and hop
+// statistics are directly comparable.
+func TopologyComparison(designs []*traffic.Design) ([]TopologyRow, error) {
+	var rows []TopologyRow
+	for _, d := range designs {
+		prep, err := usecase.Prepare(d)
+		if err != nil {
+			return nil, err
+		}
+		row := TopologyRow{Design: d.Name}
+		for _, kind := range []topology.Kind{topology.KindMesh, topology.KindTorus} {
+			p := TopologyParams()
+			p.Topology = topology.Spec{Kind: kind}
+			res, err := core.Map(prep, d.NumCores(), p)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", kind, d.Name, err)
+			}
+			switch kind {
+			case topology.KindMesh:
+				row.MeshDim = res.Dim().String()
+				row.MeshSwitches = res.Mapping.SwitchCount()
+				row.MeshHops = res.Stats.AvgMeshHops
+			case topology.KindTorus:
+				row.TorusDim = res.Dim().String()
+				row.TorusSwitches = res.Mapping.SwitchCount()
+				row.TorusHops = res.Stats.AvgMeshHops
+			}
+		}
+		row.Ratio = float64(row.TorusSwitches) / float64(row.MeshSwitches)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TopologySweep runs the mesh-vs-torus comparison along a synthetic use-case
+// sweep of the given class, mirroring the Figure 6(b)/(c) axes.
+func TopologySweep(class bench.Class, useCases []int) ([]TopologyRow, error) {
+	var designs []*traffic.Design
+	for _, n := range useCases {
+		var spec bench.SynthSpec
+		if class == bench.Bottleneck {
+			spec = bench.BottleneckSpec(n, BotFamilySeed)
+		} else {
+			spec = bench.SpreadSpec(n, SpFamilySeed)
+		}
+		d, err := bench.Synthetic(spec)
+		if err != nil {
+			return nil, err
+		}
+		designs = append(designs, d)
+	}
+	return TopologyComparison(designs)
+}

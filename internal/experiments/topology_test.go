@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"nocmap/internal/bench"
+)
+
+// Acceptance: the mesh-vs-torus comparison runs every suite design end to
+// end, and at equal cores-per-switch the torus solution is never larger
+// than the mesh solution — wrap links only ever add routing options.
+func TestTopologyComparisonTorusNeverLarger(t *testing.T) {
+	designs, err := TopologyDesigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := TopologyComparison(designs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(designs) {
+		t.Fatalf("got %d rows for %d designs", len(rows), len(designs))
+	}
+	for _, r := range rows {
+		if r.TorusSwitches > r.MeshSwitches {
+			t.Errorf("%s: torus %s (%d switches) larger than mesh %s (%d)",
+				r.Design, r.TorusDim, r.TorusSwitches, r.MeshDim, r.MeshSwitches)
+		}
+		if r.Ratio > 1 {
+			t.Errorf("%s: ratio %.3f > 1", r.Design, r.Ratio)
+		}
+		// At equal size the torus must not route worse: same placement
+		// freedom plus wrap links.
+		if r.TorusSwitches == r.MeshSwitches && r.TorusHops > r.MeshHops+1e-9 {
+			t.Errorf("%s: torus mean hops %.3f worse than mesh %.3f at equal size",
+				r.Design, r.TorusHops, r.MeshHops)
+		}
+	}
+}
+
+// The synthetic sweep variant must run end to end as well (one short sweep
+// per class keeps the test cheap).
+func TestTopologySweep(t *testing.T) {
+	for _, class := range []bench.Class{bench.Spread, bench.Bottleneck} {
+		rows, err := TopologySweep(class, []int{2, 5})
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		for _, r := range rows {
+			if r.TorusSwitches > r.MeshSwitches {
+				t.Errorf("%s %s: torus %d switches > mesh %d", class, r.Design, r.TorusSwitches, r.MeshSwitches)
+			}
+		}
+	}
+}

@@ -5,9 +5,17 @@
 //
 // Guaranteed-throughput flows are deadlock-free by construction — TDMA
 // reservations mean flits never block inside the network — so GT path
-// selection may use arbitrary paths. Best-effort traffic uses dimension-
-// ordered (XY) routing, which is deadlock-free under the turn model; the
-// package provides the XY generator and a turn-legality checker for it.
+// selection may use arbitrary paths on any topology (LeastCost is plain
+// Dijkstra over the fabric graph). The dimension-ordered (XY) generator is
+// wrap-aware on tori, taking the shorter ring direction per dimension; its
+// paths are minimal on every fabric that has dimensions. On a mesh XY is
+// additionally deadlock-free under the turn model and therefore usable for
+// best-effort traffic; on a torus wrap links close cyclic channel
+// dependencies within each ring, so torus XY paths are NOT deadlock-free
+// for BE traffic without virtual channels or datelines — here they serve
+// only as GT path candidates, where TDMA reservations make blocking
+// impossible. Custom fabrics have no dimension structure: only least-cost
+// routing applies there.
 //
 // The package is stateless: every query reads the caller's topology and
 // slot-table state and allocates nothing shared, so concurrent engine runs
@@ -102,7 +110,10 @@ func LeastCostTree(top *topology.Topology, st *tdma.State, src topology.SwitchID
 }
 
 // XY returns the dimension-ordered path: first along the row (X/columns),
-// then along the column (Y/rows). It is minimal and deadlock-free.
+// then along the column (Y/rows). It is minimal everywhere and deadlock-free
+// on a mesh; on a torus each dimension is traversed in the shorter wrap
+// direction, so the hop count never exceeds ⌊Cols/2⌋ + ⌊Rows/2⌋ (see the
+// package comment for the torus deadlock caveat).
 func XY(top *topology.Topology, src, dst topology.SwitchID) (Path, error) {
 	return dimOrdered(top, src, dst, true)
 }
@@ -112,42 +123,60 @@ func YX(top *topology.Topology, src, dst topology.SwitchID) (Path, error) {
 	return dimOrdered(top, src, dst, false)
 }
 
-func dimOrdered(top *topology.Topology, src, dst topology.SwitchID, xFirst bool) (Path, error) {
-	if top.Kind != topology.KindMesh {
-		return nil, fmt.Errorf("route: dimension-ordered routing requires a mesh, have %s", top.Kind)
+// dimSteps returns how many steps and in which per-step direction (+1/-1) to
+// travel from a to b along one dimension of size n. With wrap the shorter
+// ring direction is taken; ties prefer the direct (mesh) direction, keeping
+// the choice deterministic.
+func dimSteps(n, a, b int, wrap bool) (steps, dir int) {
+	if a == b {
+		return 0, 0
 	}
+	steps, dir = b-a, 1
+	if steps < 0 {
+		steps, dir = -steps, -1
+	}
+	if wrap {
+		if around := n - steps; around < steps {
+			return around, -dir
+		}
+	}
+	return steps, dir
+}
+
+// step advances one position along a dimension of size n, wrapping modulo n.
+func step(n, pos, dir int) int { return ((pos+dir)%n + n) % n }
+
+func dimOrdered(top *topology.Topology, src, dst topology.SwitchID, xFirst bool) (Path, error) {
+	if top.Kind == topology.KindCustom {
+		return nil, fmt.Errorf("route: dimension-ordered routing needs a mesh or torus, have %s", top.Kind)
+	}
+	wrap := top.Kind == topology.KindTorus
 	sr, sc := top.Coord(src)
 	dr, dc := top.Coord(dst)
+	colSteps, colDir := dimSteps(top.Cols, sc, dc, wrap)
+	rowSteps, rowDir := dimSteps(top.Rows, sr, dr, wrap)
 	var path Path
 	cur := src
 	stepCol := func() error {
-		for sc != dc {
-			next := sc + 1
-			if dc < sc {
-				next = sc - 1
-			}
-			l, ok := top.FindLink(cur, top.At(sr, next))
+		for ; colSteps > 0; colSteps-- {
+			sc = step(top.Cols, sc, colDir)
+			l, ok := top.FindLink(cur, top.At(sr, sc))
 			if !ok {
-				return fmt.Errorf("route: missing mesh link at (%d,%d)", sr, next)
+				return fmt.Errorf("route: missing link at (%d,%d)", sr, sc)
 			}
 			path = append(path, l)
-			sc = next
 			cur = top.At(sr, sc)
 		}
 		return nil
 	}
 	stepRow := func() error {
-		for sr != dr {
-			next := sr + 1
-			if dr < sr {
-				next = sr - 1
-			}
-			l, ok := top.FindLink(cur, top.At(next, sc))
+		for ; rowSteps > 0; rowSteps-- {
+			sr = step(top.Rows, sr, rowDir)
+			l, ok := top.FindLink(cur, top.At(sr, sc))
 			if !ok {
-				return fmt.Errorf("route: missing mesh link at (%d,%d)", next, sc)
+				return fmt.Errorf("route: missing link at (%d,%d)", sr, sc)
 			}
 			path = append(path, l)
-			sr = next
 			cur = top.At(sr, sc)
 		}
 		return nil
@@ -170,46 +199,67 @@ func dimOrdered(top *topology.Topology, src, dst topology.SwitchID, xFirst bool)
 	return path, nil
 }
 
-// MinimalPaths enumerates minimal (monotone) mesh paths from src to dst, up
-// to cap paths. With cap <= 0 all minimal paths are returned. Enumeration
-// order is deterministic (column-step branches explored first).
+// MinimalPaths enumerates minimal (monotone) paths from src to dst, up to
+// cap paths; with cap <= 0 all are returned. On a mesh these are the classic
+// staircase paths; on a torus each dimension moves in its shorter wrap
+// direction — and when the two ring directions tie (an even dimension
+// crossed exactly halfway), both directions are enumerated, so no minimal
+// path is missed. Custom fabrics have no dimension structure and return
+// nil — callers fall back to least-cost search. Enumeration order is
+// deterministic (direct directions first, column-step branches first).
 func MinimalPaths(top *topology.Topology, src, dst topology.SwitchID, cap int) []Path {
-	if top.Kind != topology.KindMesh {
+	if top.Kind == topology.KindCustom {
 		return nil
 	}
-	var out []Path
-	var walk func(cur topology.SwitchID, acc Path)
+	wrap := top.Kind == topology.KindTorus
+	sr, sc := top.Coord(src)
 	dr, dc := top.Coord(dst)
-	walk = func(cur topology.SwitchID, acc Path) {
-		if cap > 0 && len(out) >= cap {
-			return
-		}
-		if cur == dst {
-			out = append(out, append(Path(nil), acc...))
-			return
-		}
-		cr, cc := top.Coord(cur)
-		if cc != dc {
-			next := cc + 1
-			if dc < cc {
-				next = cc - 1
+	colSteps, colDirs := dimDirs(top.Cols, sc, dc, wrap)
+	rowSteps, rowDirs := dimDirs(top.Rows, sr, dr, wrap)
+	var out []Path
+	for _, colDir := range colDirs {
+		for _, rowDir := range rowDirs {
+			var walk func(r, c, colLeft, rowLeft int, acc Path)
+			walk = func(r, c, colLeft, rowLeft int, acc Path) {
+				if cap > 0 && len(out) >= cap {
+					return
+				}
+				if colLeft == 0 && rowLeft == 0 {
+					out = append(out, append(Path(nil), acc...))
+					return
+				}
+				if colLeft > 0 {
+					nc := step(top.Cols, c, colDir)
+					if l, ok := top.FindLink(top.At(r, c), top.At(r, nc)); ok {
+						walk(r, nc, colLeft-1, rowLeft, append(acc, l))
+					}
+				}
+				if rowLeft > 0 {
+					nr := step(top.Rows, r, rowDir)
+					if l, ok := top.FindLink(top.At(r, c), top.At(nr, c)); ok {
+						walk(nr, c, colLeft, rowLeft-1, append(acc, l))
+					}
+				}
 			}
-			if l, ok := top.FindLink(cur, top.At(cr, next)); ok {
-				walk(top.At(cr, next), append(acc, l))
-			}
-		}
-		if cr != dr {
-			next := cr + 1
-			if dr < cr {
-				next = cr - 1
-			}
-			if l, ok := top.FindLink(cur, top.At(next, cc)); ok {
-				walk(top.At(next, cc), append(acc, l))
-			}
+			walk(sr, sc, colSteps, rowSteps, nil)
 		}
 	}
-	walk(src, nil)
 	return out
+}
+
+// dimDirs returns the minimal step count along one dimension and every
+// per-step direction achieving it: one direction normally, both on a torus
+// tie (direct direction listed first for determinism).
+func dimDirs(n, a, b int, wrap bool) (steps int, dirs []int) {
+	steps, dir := dimSteps(n, a, b, wrap)
+	if steps == 0 {
+		return 0, []int{0}
+	}
+	dirs = []int{dir}
+	if wrap && n == 2*steps {
+		dirs = append(dirs, -dir)
+	}
+	return steps, dirs
 }
 
 // Candidates assembles a deterministic, deduplicated list of candidate paths
@@ -272,10 +322,13 @@ type Turn struct {
 	To   topology.LinkID
 }
 
-// XYLegal reports whether a mesh path only makes turns permitted by
+// XYLegal reports whether a path only makes turns permitted by
 // dimension-ordered XY routing (column movement must precede row movement;
 // once a path turns into a row direction it may not turn back). Used to
-// validate best-effort routes, which rely on XY for deadlock freedom.
+// validate best-effort routes on meshes, which rely on XY for deadlock
+// freedom. It checks turn order only: on a torus it accepts wrap-using
+// paths, which XY order alone does not make deadlock-free (ring cycles
+// need virtual channels or datelines).
 func XYLegal(top *topology.Topology, path Path) bool {
 	turnedToRow := false
 	for _, l := range path {

@@ -88,13 +88,94 @@ func TestXYSelfPath(t *testing.T) {
 	}
 }
 
-func TestXYRejectsTorus(t *testing.T) {
-	tor, err := topology.NewTorus(3, 3, 1)
+// Regression: dim-ordered routing on a torus must take the shorter wrap
+// direction, so no path exceeds ⌈rows/2⌉ + ⌈cols/2⌉ hops. Before the fix XY
+// on a torus was rejected outright (and an unguarded walk would have taken
+// the long way round).
+func TestXYTorusWrapHopBound(t *testing.T) {
+	for _, size := range [][2]int{{3, 3}, {4, 5}, {5, 4}, {5, 5}} {
+		rows, cols := size[0], size[1]
+		tor, err := topology.NewTorus(rows, cols, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (rows+1)/2 + (cols+1)/2
+		for src := topology.SwitchID(0); int(src) < tor.NumSwitches(); src++ {
+			for dst := topology.SwitchID(0); int(dst) < tor.NumSwitches(); dst++ {
+				for name, gen := range map[string]func(*topology.Topology, topology.SwitchID, topology.SwitchID) (Path, error){"XY": XY, "YX": YX} {
+					p, err := gen(tor, src, dst)
+					if err != nil {
+						t.Fatalf("%s %dx%d %d->%d: %v", name, rows, cols, src, dst, err)
+					}
+					if len(p) > bound {
+						t.Fatalf("%s %dx%d %d->%d: %d hops exceeds wrap bound %d (path %v)",
+							name, rows, cols, src, dst, len(p), bound, p)
+					}
+					if want := tor.HopDistance(src, dst); len(p) != want {
+						t.Fatalf("%s %dx%d %d->%d: %d hops, hop distance %d", name, rows, cols, src, dst, len(p), want)
+					}
+					if !Contiguous(tor, p, src, dst) {
+						t.Fatalf("%s %dx%d %d->%d: discontiguous path %v", name, rows, cols, src, dst, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Torus minimal paths must use wrap links when they shorten the route, stay
+// minimal, and remain within the candidate machinery (dedup, ordering).
+func TestMinimalPathsTorusWrap(t *testing.T) {
+	tor, err := topology.NewTorus(4, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := XY(tor, 0, 1); err == nil {
-		t.Error("XY on torus should be rejected")
+	// (0,0) -> (0,3): one hop via the column wrap link, not three across.
+	paths := MinimalPaths(tor, tor.At(0, 0), tor.At(0, 3), 0)
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("wrap minimal paths = %v, want one single-hop path", paths)
+	}
+	if l := tor.Link(paths[0][0]); l.From != tor.At(0, 0) || l.To != tor.At(0, 3) {
+		t.Errorf("wrap path uses link %v", l)
+	}
+	// (0,0) -> (3,3): one wrap hop per dimension, two interleavings.
+	paths = MinimalPaths(tor, tor.At(0, 0), tor.At(3, 3), 0)
+	if len(paths) != 2 {
+		t.Fatalf("diagonal wrap minimal paths = %d, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != tor.HopDistance(tor.At(0, 0), tor.At(3, 3)) {
+			t.Errorf("non-minimal torus path %v", p)
+		}
+		if !Contiguous(tor, p, tor.At(0, 0), tor.At(3, 3)) {
+			t.Errorf("discontiguous torus path %v", p)
+		}
+	}
+	// Tied ring directions (even dimension crossed halfway): both ways are
+	// minimal and both must be enumerated.
+	paths = MinimalPaths(tor, tor.At(0, 0), tor.At(0, 2), 0)
+	if len(paths) != 2 {
+		t.Fatalf("tied wrap minimal paths = %d, want 2 (one per ring direction)", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 2 || !Contiguous(tor, p, tor.At(0, 0), tor.At(0, 2)) {
+			t.Errorf("bad tied-direction path %v", p)
+		}
+	}
+	if pathKey(paths[0]) == pathKey(paths[1]) {
+		t.Error("tied-direction paths are duplicates")
+	}
+
+	// Custom fabrics have no dimension order: MinimalPaths declines.
+	custom, err := (&topology.Custom{Switches: 3, Links: [][2]int{{0, 1}, {1, 2}}}).Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MinimalPaths(custom, 0, 2, 0); got != nil {
+		t.Errorf("custom minimal paths = %v, want nil", got)
+	}
+	if _, err := XY(custom, 0, 2); err == nil {
+		t.Error("XY on a custom fabric should be rejected")
 	}
 }
 

@@ -96,10 +96,14 @@ func (a *annealer) run(ctx context.Context, base *core.Result) {
 	}
 }
 
-// shrinkDims lists meshes smaller than the greedy solution with enough core
-// seats, in descending switch count (nearest the greedy size first, where a
-// feasible placement is most likely to exist).
+// shrinkDims lists topologies smaller than the greedy solution with enough
+// core seats, in descending switch count (nearest the greedy size first,
+// where a feasible placement is most likely to exist). A custom fabric is a
+// single fixed instance, so there is nothing to shrink to.
 func (a *annealer) shrinkDims(base *core.Result, attached int) []topology.Dim {
+	if !a.p.Topology.Grows() {
+		return nil
+	}
 	baseSwitches := base.Mapping.SwitchCount()
 	var dims []topology.Dim
 	for _, d := range topology.GrowthSequence(a.p.MaxMeshDim) {
@@ -115,10 +119,11 @@ func (a *annealer) shrinkDims(base *core.Result, attached int) []topology.Dim {
 	return dims
 }
 
-// feasibleStart tries Options.Restarts seeded random placements on the given
-// mesh and returns the first that configures feasibly, or nil.
+// feasibleStart tries Options.Restarts seeded random placements on the
+// given size of the configured topology family and returns the first that
+// configures feasibly, or nil.
 func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached []int) *core.Result {
-	top, err := topology.NewMesh(dim.Rows, dim.Cols, a.p.CoresPerSwitch())
+	top, err := a.p.Topology.ForDim(dim, a.p.CoresPerSwitch())
 	if err != nil {
 		return nil
 	}

@@ -7,6 +7,7 @@ import (
 
 	"nocmap/internal/bench"
 	"nocmap/internal/core"
+	"nocmap/internal/topology"
 	"nocmap/internal/traffic"
 	"nocmap/internal/usecase"
 )
@@ -211,5 +212,58 @@ func TestPortfolioBudget(t *testing.T) {
 	}
 	if res == nil || res.Mapping == nil {
 		t.Fatal("budgeted portfolio returned no mapping")
+	}
+}
+
+// Every engine must honour the topology spec in core.Params: on a torus
+// request large enough to leave the degenerate sizes, the solution fabric
+// carries wrap links, and the metaheuristics still never do worse than
+// greedy under the shared cost weights.
+func TestEnginesExploreTorus(t *testing.T) {
+	prep, numCores := fig5(t)
+	p := core.DefaultParams()
+	p.NIsPerSwitch = 1
+	p.CoresPerNI = 1 // 4 cores -> at least 4 switches, so wrap links can exist
+	p.MaxMeshDim = 6
+	p.Topology = topology.Spec{Kind: topology.KindTorus}
+	opts := DefaultOptions()
+	opts.Iters = 12
+	opts.Seeds = 2
+
+	greedyRes, err := Greedy{}.Search(context.Background(), prep, numCores, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := opts.Weights.Of(greedyRes)
+	for _, name := range Names() {
+		eng, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Search(context.Background(), prep, numCores, p, opts)
+		if err != nil {
+			t.Fatalf("%s on torus: %v", name, err)
+		}
+		top := res.Mapping.Topology
+		if top.Kind == topology.KindTorus && (top.Rows < 3 || top.Cols < 3) {
+			t.Errorf("%s: degenerate torus %s", name, top)
+		}
+		if got := opts.Weights.Of(res); got > base+1e-9 {
+			t.Errorf("%s on torus scored %v, worse than greedy %v", name, got, base)
+		}
+	}
+
+	// A custom fabric pins every engine to the one loaded instance.
+	ringTop := &topology.Custom{Name: "ring", Switches: 4, Links: [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}}
+	p.Topology = topology.Spec{Kind: topology.KindCustom, Custom: ringTop}
+	for _, name := range Names() {
+		eng, _ := New(name)
+		res, err := eng.Search(context.Background(), prep, numCores, p, opts)
+		if err != nil {
+			t.Fatalf("%s on ring: %v", name, err)
+		}
+		if res.Mapping.Topology.Kind != topology.KindCustom || res.Mapping.SwitchCount() != 4 {
+			t.Errorf("%s: solved on %s, want the 4-switch ring", name, res.Mapping.Topology)
+		}
 	}
 }

@@ -7,10 +7,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"nocmap/internal/core"
 	"nocmap/internal/search"
+	"nocmap/internal/topology"
 	"nocmap/internal/traffic"
 )
 
@@ -22,6 +24,12 @@ type MapRequest struct {
 	Design json.RawMessage `json:"design"`
 	// Engine picks the search engine (default "greedy").
 	Engine string `json:"engine,omitempty"`
+	// Topology picks the interconnect family: "mesh" (default) or "torus".
+	// When empty, a "topology" tag inside the design JSON applies. The
+	// choice flows into the design's canonical digest, so requests on
+	// different fabrics never share a cache entry. Custom fabrics carry
+	// their link lists and are CLI-only (nocmap -topology @file.json).
+	Topology string `json:"topology,omitempty"`
 	// Seed, Seeds, Iters override search.DefaultOptions.
 	Seed  *int64 `json:"seed,omitempty"`
 	Seeds *int   `json:"seeds,omitempty"`
@@ -57,6 +65,20 @@ func (mr *MapRequest) ToRequest() (Request, error) {
 		req.Engine = "greedy"
 	}
 	req.Params = core.DefaultParams()
+	// Resolve the fabric: the request field wins, then the design's own tag.
+	tag := mr.Topology
+	if tag == "" {
+		tag = d.Topology
+	}
+	if strings.HasPrefix(tag, "custom:") {
+		return req, fmt.Errorf("service: custom fabrics (%s) carry their link lists and are CLI-only; map locally with nocmap -topology @fabric.json", tag)
+	}
+	kind, err := topology.ParseKind(tag)
+	if err != nil {
+		return req, fmt.Errorf("service: %w", err)
+	}
+	req.Params.Topology = topology.Spec{Kind: kind}
+	d.Topology = req.Params.Topology.CanonicalID()
 	req.Opts = search.DefaultOptions()
 	if mr.Seed != nil {
 		req.Opts.Seed = *mr.Seed

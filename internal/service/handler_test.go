@@ -254,3 +254,71 @@ func TestServerErrorPaths(t *testing.T) {
 		t.Errorf("infeasible design: HTTP %d, want 422", resp.StatusCode)
 	}
 }
+
+// POST /map with a topology field must run on that fabric, produce a cache
+// key distinct from the mesh run of the same design, and reject unknown
+// fabrics with 400.
+func TestServerMapTopologyField(t *testing.T) {
+	ts, _ := newTestServer(t)
+	design := d1JSON(t)
+
+	var keys []string
+	for _, topo := range []string{"", "torus"} {
+		httpResp, body := postJSON(t, ts.URL+"/map", MapRequest{Design: design, Topology: topo})
+		if httpResp.StatusCode != http.StatusOK {
+			t.Fatalf("topology %q: HTTP %d: %s", topo, httpResp.StatusCode, body)
+		}
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Result.Violations) != 0 {
+			t.Fatalf("topology %q: violations %v", topo, resp.Result.Violations)
+		}
+		keys = append(keys, resp.Key)
+	}
+	if keys[0] == keys[1] {
+		t.Errorf("mesh and torus requests share cache key %s", keys[0])
+	}
+
+	httpResp, body := postJSON(t, ts.URL+"/map", MapRequest{Design: design, Topology: "hypercube"})
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown topology: HTTP %d: %s", httpResp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("hypercube")) {
+		t.Errorf("error body %s should name the bad fabric", body)
+	}
+}
+
+// A "topology" tag inside the design JSON applies when the request carries
+// no explicit override, keying the cache separately from the mesh run.
+func TestServerDesignTopologyTag(t *testing.T) {
+	ts, _ := newTestServer(t)
+	design := d1JSON(t)
+	var tagged map[string]any
+	if err := json.Unmarshal(design, &tagged); err != nil {
+		t.Fatal(err)
+	}
+	tagged["topology"] = "torus"
+	taggedRaw, err := json.Marshal(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	httpResp, body := postJSON(t, ts.URL+"/map", MapRequest{Design: taggedRaw})
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("tagged design: HTTP %d: %s", httpResp.StatusCode, body)
+	}
+	var torusResp Response
+	if err := json.Unmarshal(body, &torusResp); err != nil {
+		t.Fatal(err)
+	}
+	_, meshBody := postJSON(t, ts.URL+"/map", MapRequest{Design: design})
+	var meshResp Response
+	if err := json.Unmarshal(meshBody, &meshResp); err != nil {
+		t.Fatal(err)
+	}
+	if torusResp.Key == meshResp.Key {
+		t.Error("design-tagged torus request shares the mesh cache key")
+	}
+}

@@ -128,9 +128,9 @@ func (r *Request) Key() (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "nocmap-request-v1\ndesign %s\nengine %s\n", r.Design.Digest(), r.Engine)
 	p := r.Params
-	fmt.Fprintf(h, "params %d %s %d %d %d %d %d %s %s %d %d %t %t %t %d\n",
+	fmt.Fprintf(h, "params %d %s %d %d %d %d %d %s %s %s %d %d %t %t %t %d\n",
 		p.LinkWidthBits, hexf(p.FreqMHz), p.SlotTableSize, p.SlotCycles,
-		p.NIsPerSwitch, p.CoresPerNI, p.MaxMeshDim,
+		p.NIsPerSwitch, p.CoresPerNI, p.MaxMeshDim, p.Topology.CanonicalID(),
 		hexf(p.Cost.HopCost), hexf(p.Cost.LoadWeight), p.Cost.MaxCandidates,
 		p.PlacementCandidates, p.DisableMappedPreference, p.DisableUnifiedSlots,
 		p.Improve, p.ImproveIters)
@@ -567,7 +567,11 @@ func (r *Response) cached() *Response {
 
 // Result is the JSON-serializable summary of one mapping.
 type Result struct {
-	Design   string `json:"design"`
+	Design string `json:"design"`
+	// Topology names the fabric family of the solution ("mesh", "torus",
+	// "custom"). A torus request can legitimately report "mesh" when the
+	// smallest feasible shape is below 3x3, where wrap links degenerate.
+	Topology string `json:"topology"`
 	Rows     int    `json:"rows"`
 	Cols     int    `json:"cols"`
 	Switches int    `json:"switches"`
@@ -603,6 +607,7 @@ func summarize(req Request, prep *usecase.Prepared, res *core.Result) *Response 
 	m := res.Mapping
 	out := Result{
 		Design:        req.Design.Name,
+		Topology:      m.Topology.Kind.String(),
 		Rows:          m.Topology.Rows,
 		Cols:          m.Topology.Cols,
 		Switches:      m.SwitchCount(),

@@ -11,6 +11,7 @@ import (
 
 	"nocmap/internal/core"
 	"nocmap/internal/search"
+	"nocmap/internal/topology"
 	"nocmap/internal/traffic"
 	"nocmap/internal/usecase"
 )
@@ -461,5 +462,57 @@ func TestCloseFailsQueuedJobs(t *testing.T) {
 	}
 	if _, err := s.Map(context.Background(), testRequest("gate-close", testDesign("close-d"))); !errors.Is(err, ErrClosed) {
 		t.Errorf("map after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// Acceptance: an otherwise identical request on a different fabric must get
+// a different cache key, both when the fabric arrives via core.Params and
+// when it arrives as the design's own topology tag.
+func TestRequestKeyDistinguishesTopologies(t *testing.T) {
+	key := func(mutate func(*Request)) string {
+		req := testRequest("greedy", testDesign("fabrics"))
+		if mutate != nil {
+			mutate(&req)
+		}
+		k, err := req.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	mesh := key(nil)
+	torusParams := key(func(r *Request) { r.Params.Topology = topology.Spec{Kind: topology.KindTorus} })
+	if torusParams == mesh {
+		t.Error("torus params share the mesh cache key")
+	}
+	torusTag := key(func(r *Request) { r.Design.Topology = "torus" })
+	if torusTag == mesh {
+		t.Error("torus design tag shares the mesh cache key")
+	}
+	if meshTag := key(func(r *Request) { r.Design.Topology = "mesh" }); meshTag != mesh {
+		t.Error("explicit mesh tag must equal the default key")
+	}
+}
+
+// A torus request must run the full pipeline and serve cache hits on repeat.
+func TestMapTorusEndToEnd(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	req := testRequest("greedy", testDesign("torus-e2e"))
+	req.Params.Topology = topology.Spec{Kind: topology.KindTorus}
+	req.Design.Topology = req.Params.Topology.CanonicalID()
+	resp, err := s.Map(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Result.Violations) != 0 {
+		t.Fatalf("torus mapping has violations: %v", resp.Result.Violations)
+	}
+	if resp.Result.Topology != "mesh" && resp.Result.Topology != "torus" {
+		t.Errorf("result topology = %q", resp.Result.Topology)
+	}
+	again, err := s.Map(context.Background(), req)
+	if err != nil || !again.Cached {
+		t.Fatalf("second torus request not served from cache: %v cached=%v", err, again != nil && again.Cached)
 	}
 }

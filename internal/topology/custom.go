@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"nocmap/internal/graph"
+)
+
+// Custom describes an arbitrary switch-level fabric: a switch count and an
+// undirected link list. It is the validated, in-memory form of the custom
+// topology interchange JSON; Build turns it into a routable Topology (each
+// undirected link becomes two opposing directed links, matching how mesh
+// edges are represented).
+type Custom struct {
+	// Name labels the fabric in reports; optional.
+	Name string `json:"name,omitempty"`
+	// Switches is the number of switches, numbered 0..Switches-1.
+	Switches int `json:"switches"`
+	// Links lists undirected switch pairs. Self-loops and duplicate links
+	// (in either orientation) are rejected, and the fabric must be connected.
+	Links [][2]int `json:"links"`
+}
+
+// ReadCustomJSON parses and validates a custom fabric description.
+func ReadCustomJSON(r io.Reader) (*Custom, error) {
+	var c Custom
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("topology: decode custom fabric: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// ReadCustomFile loads a custom fabric description from a JSON file.
+func ReadCustomFile(path string) (*Custom, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: open custom fabric: %w", err)
+	}
+	defer f.Close()
+	c, err := ReadCustomJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// MaxSwitches bounds loadable custom fabrics. It sits far above any network
+// the methodology explores (the paper's growth loop stops at 20x20 = 400
+// switches) while keeping a hostile "switches" count from allocating
+// unbounded adjacency and hop-table memory before validation can reject it.
+const MaxSwitches = 1024
+
+// Validate checks the fabric description: switch count within [1,
+// MaxSwitches], link endpoints in range, no self-loops, no duplicate links,
+// and a connected graph. The size check runs before any size-proportional
+// allocation.
+func (c *Custom) Validate() error {
+	if c.Switches < 1 {
+		return fmt.Errorf("topology: custom fabric needs >= 1 switch, got %d", c.Switches)
+	}
+	if c.Switches > MaxSwitches {
+		return fmt.Errorf("topology: custom fabric has %d switches, limit %d", c.Switches, MaxSwitches)
+	}
+	if c.Switches > 1 && len(c.Links) == 0 {
+		return fmt.Errorf("topology: custom fabric with %d switches has no links", c.Switches)
+	}
+	seen := make(map[[2]int]bool, len(c.Links))
+	u := graph.NewUndirected(c.Switches)
+	for i, l := range c.Links {
+		a, b := l[0], l[1]
+		if a < 0 || a >= c.Switches || b < 0 || b >= c.Switches {
+			return fmt.Errorf("topology: custom link %d (%d,%d) out of range [0,%d)", i, a, b, c.Switches)
+		}
+		if a == b {
+			return fmt.Errorf("topology: custom link %d is a self-loop on switch %d", i, a)
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if seen[key] {
+			return fmt.Errorf("topology: duplicate custom link (%d,%d)", a, b)
+		}
+		seen[key] = true
+		if err := u.AddEdge(a, b); err != nil {
+			return err
+		}
+	}
+	if comps := u.Components(); len(comps) > 1 {
+		return fmt.Errorf("topology: custom fabric is disconnected (%d components; switch %d unreachable from 0)",
+			len(comps), comps[1][0])
+	}
+	return nil
+}
+
+// CanonicalID returns a deterministic identifier of the fabric's structure:
+// "custom:" plus a digest over the switch count and the normalized, sorted
+// link list. Link order, link orientation and the name do not affect it, so
+// it is usable inside design digests and service cache keys.
+func (c *Custom) CanonicalID() string {
+	links := make([][2]int, 0, len(c.Links))
+	for _, l := range c.Links {
+		if l[0] > l[1] {
+			l[0], l[1] = l[1], l[0]
+		}
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	h := sha256.New()
+	fmt.Fprintf(h, "nocmap-fabric-v1\nswitches %d\n", c.Switches)
+	for _, l := range links {
+		fmt.Fprintf(h, "link %d %d\n", l[0], l[1])
+	}
+	return "custom:" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Build turns the validated description into a Topology where every switch
+// hosts up to coresPerSwitch cores. Hop distances are precomputed by BFS and
+// the centre is the minimum-eccentricity switch (lowest ID on ties).
+func (c *Custom) Build(coresPerSwitch int) (*Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if coresPerSwitch < 1 {
+		return nil, fmt.Errorf("topology: coresPerSwitch %d invalid", coresPerSwitch)
+	}
+	n := c.Switches
+	t := &Topology{
+		Kind: KindCustom, Rows: 1, Cols: n,
+		CoresPerSwitch: coresPerSwitch, name: c.Name,
+	}
+	t.g = graph.NewDirected(n)
+	for _, l := range c.Links {
+		for _, pair := range [][2]int{{l[0], l[1]}, {l[1], l[0]}} {
+			id, err := t.g.AddArc(pair[0], pair[1])
+			if err != nil {
+				return nil, err
+			}
+			t.links = append(t.links, Link{ID: LinkID(id), From: SwitchID(pair[0]), To: SwitchID(pair[1])})
+		}
+	}
+	t.hop = allPairsHops(t)
+	t.centre = minEccentricity(t.hop)
+	return t, nil
+}
+
+// allPairsHops runs one BFS per switch over the directed link graph.
+func allPairsHops(t *Topology) [][]int {
+	n := t.NumSwitches()
+	hop := make([][]int, n)
+	for src := 0; src < n; src++ {
+		d := make([]int, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, id := range t.g.Out(v) {
+				to := int(t.links[id].To)
+				if d[to] < 0 {
+					d[to] = d[v] + 1
+					queue = append(queue, to)
+				}
+			}
+		}
+		hop[src] = d
+	}
+	return hop
+}
+
+// minEccentricity picks the switch whose farthest peer is nearest.
+func minEccentricity(hop [][]int) SwitchID {
+	best, bestEcc := 0, -1
+	for s, row := range hop {
+		ecc := 0
+		for _, d := range row {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if bestEcc < 0 || ecc < bestEcc {
+			best, bestEcc = s, ecc
+		}
+	}
+	return SwitchID(best)
+}

@@ -1,0 +1,51 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTopologySpec feeds arbitrary bytes to the custom-fabric loader. The
+// loader must never panic; whenever it accepts an input, the resulting
+// fabric must actually build and honour the loader's own invariants
+// (connectivity, no duplicate links), since everything downstream — the
+// growth loop, routing, the engines — relies on them.
+func FuzzTopologySpec(f *testing.F) {
+	f.Add([]byte(`{"name":"ring4","switches":4,"links":[[0,1],[1,2],[2,3],[3,0]]}`))
+	f.Add([]byte(`{"switches":1,"links":[]}`))
+	f.Add([]byte(`{"switches":4,"links":[[0,1],[2,3]]}`))           // disconnected
+	f.Add([]byte(`{"switches":3,"links":[[0,1],[1,0],[1,2]]}`))     // duplicate link
+	f.Add([]byte(`{"switches":2,"links":[[0,0],[0,1]]}`))           // self-loop
+	f.Add([]byte(`{"switches":2,"links":[[0,7]]}`))                 // out of range
+	f.Add([]byte(`{"switches":-3,"links":[]}`))                     // negative
+	f.Add([]byte(`{"switches":4000000000,"links":[[0,1]]}`))        // hostile size
+	f.Add([]byte(`{"switches":2,"links":[[0,1]],"extra":"field"}`)) // unknown field
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCustomJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		top, err := c.Build(2)
+		if err != nil {
+			t.Fatalf("accepted fabric fails to build: %v (input %q)", err, data)
+		}
+		// Connectivity invariant: every switch reachable from every other.
+		n := top.NumSwitches()
+		for a := SwitchID(0); int(a) < n; a++ {
+			for b := SwitchID(0); int(b) < n; b++ {
+				if top.HopDistance(a, b) < 0 {
+					t.Fatalf("accepted fabric is disconnected: %d unreachable from %d (input %q)", b, a, data)
+				}
+			}
+		}
+		// The canonical ID must be insensitive to link order.
+		flipped := &Custom{Name: c.Name, Switches: c.Switches}
+		for i := len(c.Links) - 1; i >= 0; i-- {
+			flipped.Links = append(flipped.Links, [2]int{c.Links[i][1], c.Links[i][0]})
+		}
+		if c.CanonicalID() != flipped.CanonicalID() {
+			t.Fatalf("canonical ID depends on link order (input %q)", data)
+		}
+	})
+}

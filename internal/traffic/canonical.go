@@ -13,15 +13,20 @@ import (
 // canonical form: use-cases sorted by name (with ParallelSets and SmoothPairs
 // re-indexed to follow), flows within each use-case sorted by (src, dst),
 // compound part lists sorted, every parallel set sorted ascending with the
-// sets themselves in lexicographic order, and smooth pairs normalized to
-// (low, high) and sorted. Core order is preserved — core IDs are positional
-// and renumbering them would change the design's meaning.
+// sets themselves in lexicographic order, smooth pairs normalized to
+// (low, high) and sorted, and the topology tag normalized (empty → "mesh").
+// Core order is preserved — core IDs are positional and renumbering them
+// would change the design's meaning.
 //
 // Two designs that differ only in use-case order, flow order, or the order
 // of the parallel/smooth declarations canonicalize to equal values, which is
-// what makes Digest a usable cache key.
+// what makes Digest a usable cache key. Designs on different fabrics do NOT
+// canonicalize equal: the topology tag is part of the design's meaning.
 func (d *Design) Canonicalize() *Design {
-	out := &Design{Name: d.Name}
+	out := &Design{Name: d.Name, Topology: d.Topology}
+	if out.Topology == "" {
+		out.Topology = "mesh"
+	}
 	out.Cores = append([]Core(nil), d.Cores...)
 
 	// Sort use-cases by name and remember where each old index went.
@@ -93,9 +98,10 @@ func (u *UseCase) SortByPair() {
 // Digest returns a deterministic SHA-256 hex digest of the canonicalized
 // design. It is independent of JSON field order, use-case order, flow order,
 // and the order of the parallel/smooth declarations, so it identifies a
-// design up to those permutations. Bandwidth and latency values are encoded
-// as exact hexadecimal floats — no rounding, no locale, no float-printing
-// ambiguity.
+// design up to those permutations — but it does depend on the topology tag,
+// so the same traffic targeted at a mesh and at a torus digests differently.
+// Bandwidth and latency values are encoded as exact hexadecimal floats — no
+// rounding, no locale, no float-printing ambiguity.
 func (d *Design) Digest() string {
 	c := d.Canonicalize()
 	h := sha256.New()
@@ -104,11 +110,11 @@ func (d *Design) Digest() string {
 }
 
 // writeCanonical streams the canonical byte encoding of an
-// already-canonicalized design. The format is versioned ("nocmap-design-v1")
-// so a future encoding change invalidates old digests instead of colliding
-// with them.
+// already-canonicalized design. The format is versioned (v2 added the
+// topology tag) so an encoding change invalidates old digests instead of
+// colliding with them.
 func writeCanonical(w io.Writer, c *Design) {
-	fmt.Fprintf(w, "nocmap-design-v1\nname %q\ncores %d\n", c.Name, len(c.Cores))
+	fmt.Fprintf(w, "nocmap-design-v2\nname %q\ntopology %q\ncores %d\n", c.Name, c.Topology, len(c.Cores))
 	for _, core := range c.Cores {
 		fmt.Fprintf(w, "core %d %q\n", core.ID, core.Name)
 	}

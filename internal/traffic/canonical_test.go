@@ -124,3 +124,32 @@ func TestCanonicalizePreservesMeaning(t *testing.T) {
 		t.Error("Canonicalize mutated the original design")
 	}
 }
+
+// The topology tag is part of the design's meaning: identical traffic on
+// different fabrics must digest differently, while the empty tag and the
+// explicit "mesh" tag are the same fabric and must digest identically.
+func TestDigestDistinguishesTopologies(t *testing.T) {
+	mk := func(tag string) *Design {
+		d, _ := digestPair()
+		d.Topology = tag
+		return d
+	}
+	mesh := mk("").Digest()
+	if got := mk("mesh").Digest(); got != mesh {
+		t.Errorf("empty and explicit mesh tags digest differently: %s vs %s", got, mesh)
+	}
+	torus := mk("torus").Digest()
+	if torus == mesh {
+		t.Error("mesh and torus designs share a digest")
+	}
+	custom := mk("custom:deadbeef12345678").Digest()
+	if custom == mesh || custom == torus {
+		t.Error("custom fabric design collides with a built-in fabric")
+	}
+	if c := mk("torus").Canonicalize(); c.Topology != "torus" {
+		t.Errorf("canonical topology tag = %q, want torus", c.Topology)
+	}
+	if c := mk("").Canonicalize(); c.Topology != "mesh" {
+		t.Errorf("canonical empty tag = %q, want mesh", c.Topology)
+	}
+}

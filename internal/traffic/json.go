@@ -6,6 +6,11 @@ import (
 	"io"
 )
 
+// MaxCores bounds the num_cores shorthand of the interchange format — far
+// beyond any SoC (the paper's designs have ~30 cores) but small enough that
+// parsing a hostile count cannot exhaust memory.
+const MaxCores = 1 << 16
+
 // designJSON is the on-disk representation of a Design. Core names are
 // optional; cores may be given either as a count or as a name list.
 type designJSON struct {
@@ -15,6 +20,7 @@ type designJSON struct {
 	UseCases     []useCaseJSON `json:"use_cases"`
 	ParallelSets [][]int       `json:"parallel_sets,omitempty"`
 	SmoothPairs  [][2]int      `json:"smooth_pairs,omitempty"`
+	Topology     string        `json:"topology,omitempty"`
 }
 
 type useCaseJSON struct {
@@ -35,6 +41,7 @@ func (d *Design) WriteJSON(w io.Writer) error {
 		Name:         d.Name,
 		ParallelSets: d.ParallelSets,
 		SmoothPairs:  d.SmoothPairs,
+		Topology:     d.Topology,
 	}
 	for _, c := range d.Cores {
 		out.CoreNames = append(out.CoreNames, c.Name)
@@ -66,6 +73,7 @@ func ReadJSON(r io.Reader) (*Design, error) {
 		Name:         in.Name,
 		ParallelSets: in.ParallelSets,
 		SmoothPairs:  in.SmoothPairs,
+		Topology:     in.Topology,
 	}
 	switch {
 	case len(in.CoreNames) > 0:
@@ -73,6 +81,12 @@ func ReadJSON(r io.Reader) (*Design, error) {
 			d.Cores = append(d.Cores, Core{ID: CoreID(i), Name: name})
 		}
 	case in.NumCores > 0:
+		// Cap before MakeCores allocates one named struct per claimed core:
+		// a hostile count must not exhaust memory ahead of validation. (The
+		// core_names path is naturally bounded by the input length.)
+		if in.NumCores > MaxCores {
+			return nil, fmt.Errorf("traffic: design %q: num_cores %d exceeds limit %d", in.Name, in.NumCores, MaxCores)
+		}
 		d.Cores = MakeCores(in.NumCores)
 	default:
 		return nil, fmt.Errorf("traffic: design %q: neither core_names nor num_cores given", in.Name)

@@ -299,3 +299,13 @@ func TestReadJSONErrors(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a hostile num_cores must be rejected before any
+// size-proportional allocation, not after (the fuzz-smoke CI job mutates
+// the count digits).
+func TestReadJSONRejectsHostileCoreCount(t *testing.T) {
+	in := `{"name":"huge","num_cores":999999999,"use_cases":[{"name":"u","flows":[{"src":0,"dst":1,"bandwidth_mbs":1}]}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Errorf("hostile num_cores: err = %v, want a limit rejection", err)
+	}
+}
