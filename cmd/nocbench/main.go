@@ -26,10 +26,11 @@ var (
 	seed   = flag.Int64("seed", 1, "base PRNG seed for the engines table")
 	seeds  = flag.Int("seeds", 4, "multi-start annealers in the portfolio engine")
 	budget = flag.Duration("budget", 0, "per-search wall-clock budget for the engines table (0 = unbounded)")
+	moves  = flag.Int("moves", 200, "candidate moves per design for the perf figure")
 )
 
 // figures lists the valid -fig values in presentation order.
-var figures = []string{"6a", "6b", "6c", "7a", "7b", "7c", "62", "headline", "engines", "topology"}
+var figures = []string{"6a", "6b", "6c", "7a", "7b", "7c", "62", "headline", "engines", "topology", "perf"}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: "+strings.Join(figures, "|")+"|all")
@@ -61,6 +62,7 @@ func main() {
 	run("headline", headline)
 	run("engines", engines)
 	run("topology", topologyFigure)
+	run("perf", perfFigure)
 }
 
 func printComparisons(title string, cs []experiments.Comparison) {
@@ -220,6 +222,31 @@ func topologyFigure() error {
 			return err
 		}
 		printTopoRows(fmt.Sprintf("Topology sweep (%s): mesh vs torus over use-cases", class), rows)
+	}
+	return nil
+}
+
+func perfFigure() error {
+	if *moves < 1 {
+		return fmt.Errorf("-moves %d invalid: need at least 1 candidate move", *moves)
+	}
+	designs, err := experiments.PerfDesigns()
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.PerfComparison(designs, *moves, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nEvaluation throughput: full re-configuration vs incremental session (%d moves, seed %d)\n", *moves, *seed)
+	fmt.Printf("%-8s %10s %14s %14s %14s %14s %9s\n",
+		"design", "moves", "full total", "full/move", "delta total", "delta/move", "speedup")
+	for _, r := range rows {
+		perFull := r.Full / time.Duration(r.Moves)
+		perDelta := r.Delta / time.Duration(r.Moves)
+		fmt.Printf("%-8s %10d %14s %14s %14s %14s %8.2fx\n",
+			r.Design, r.Moves, r.Full.Round(time.Microsecond), perFull.Round(time.Microsecond),
+			r.Delta.Round(time.Microsecond), perDelta.Round(time.Microsecond), r.Speedup)
 	}
 	return nil
 }

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nocmap/internal/route"
+	"nocmap/internal/tdma"
+	"nocmap/internal/topology"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+// Evaluator is the reusable evaluation engine for one (prepared design,
+// topology, params) triple. The one-shot entry points (Map, EvaluateFixed)
+// re-validate the inputs, rebuild the bandwidth-sorted flow work list and
+// reallocate every group's TDMA slot tables on every call; a search engine
+// scoring thousands of candidate placements on the same fabric pays that
+// fixed cost per candidate. The Evaluator pays it once:
+//
+//   - inputs (params, use-cases, topology) are validated at construction;
+//   - the flow work list, per-pair routing plans (group order, reservation
+//     bandwidth and latency) and NI demand projections are precomputed;
+//   - candidate mesh paths are cached per switch pair (route.Table);
+//   - TDMA states and flow lists live in a scratch arena that is reset
+//     between evaluations instead of reallocated.
+//
+// An Evaluator is immutable after construction and safe for concurrent use:
+// every Evaluate call draws its mutable state from an internal pool, so the
+// portfolio's workers share one Evaluator (and its precomputation) per
+// topology. Delta evaluation of single moves is layered on top via Session.
+type Evaluator struct {
+	prep     *usecase.Prepared
+	numCores int
+	top      *topology.Topology
+	p        Params
+
+	meshLinks  int
+	totalLinks int
+
+	// flowsTpl is the bandwidth-sorted global flow list (Algorithm 2 step
+	// 2); evaluations copy it instead of re-sorting.
+	flowsTpl []flowInst
+	// byPair indexes flowsTpl by directed core pair.
+	byPair map[traffic.PairKey][]int
+	// pairList holds the distinct pairs in first-occurrence (descending
+	// bandwidth) order — the order the fully-fixed configuration phase
+	// routes them in.
+	pairList []traffic.PairKey
+	// plans precomputes, per pair, everything the routing step derives from
+	// the flow list alone: the group order and each group's reservation
+	// size and latency bound.
+	plans map[traffic.PairKey]*pairPlan
+	// pairSlots caches, per group and pair, the slot demand of the group's
+	// heaviest same-pair flow (immutable; evaluations read it).
+	pairSlots []map[traffic.PairKey]int
+	// remOutTpl/remInTpl are the initial per-group, per-core not-yet-routed
+	// slot demands; partial-placement evaluations copy and consume them.
+	remOutTpl, remInTpl [][]int
+	// active lists the cores that appear in at least one flow.
+	active []int
+	// groupPairs lists, per group, its pairs with their bandwidth-driven
+	// slot demand (pairSlots flattened for cheap deterministic iteration in
+	// the session's capacity prechecks).
+	groupPairs [][]pairDemand
+	// ucPairs lists, per use-case, its distinct pairs with the flow
+	// bandwidth — the iteration computeStats performs over Config maps,
+	// precomputed so sessions can recompute stats without building Configs.
+	ucPairs [][]ucPairStat
+
+	// paths caches candidate mesh paths per switch pair.
+	paths *route.Table
+
+	pool sync.Pool // *evalScratch
+}
+
+// pairPlan is the placement-independent routing plan of one directed pair:
+// the smooth-switching groups that communicate over it in reservation order
+// (driving group first, then descending heaviest-flow bandwidth), each with
+// its reservation bandwidth and tightest latency bound.
+type pairPlan struct {
+	groups   []int
+	bw       []float64
+	lat      []float64
+	allInsts []int // indices into the flow list, every instance of the pair
+}
+
+type ucPairStat struct {
+	key traffic.PairKey
+	bw  float64
+}
+
+// pairDemand is one pair of one group's routing worklist: its slot demand
+// plus the group's reservation bandwidth and latency bound (copied from the
+// pair's plan for cheap per-group iteration).
+type pairDemand struct {
+	key   traffic.PairKey
+	slots int
+	bw    float64
+	lat   float64
+}
+
+// evalScratch is the reusable mutable state of one evaluation.
+type evalScratch struct {
+	states        []*tdma.State
+	flows         []flowInst
+	remOut, remIn [][]int
+	journal       []resRecord
+}
+
+// NewEvaluator validates the inputs once and precomputes the shared
+// evaluation state. The topology is used as given — mesh, torus or custom —
+// exactly like EvaluateFixed.
+func NewEvaluator(prep *usecase.Prepared, numCores int, top *topology.Topology, p Params) (*Evaluator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateInput(prep, numCores); err != nil {
+		return nil, err
+	}
+	if top == nil {
+		return nil, fmt.Errorf("core: evaluator needs a topology")
+	}
+	return newEvaluator(prep, numCores, top, p), nil
+}
+
+// newEvaluator builds the evaluator without re-validating (the growth loop
+// validates once up front).
+func newEvaluator(prep *usecase.Prepared, numCores int, top *topology.Topology, p Params) *Evaluator {
+	ev := &Evaluator{prep: prep, numCores: numCores, top: top, p: p}
+	ev.meshLinks = top.NumLinks()
+	ev.totalLinks = ev.meshLinks + 2*top.NumSwitches()*p.NIsPerSwitch
+	ev.paths = route.NewTable(top, p.Cost)
+	ev.buildTemplates()
+	return ev
+}
+
+// Topology returns the fabric the evaluator scores placements on.
+func (ev *Evaluator) Topology() *topology.Topology { return ev.top }
+
+// buildTemplates assembles the sorted flow list, pair index, routing plans
+// and demand projections (the work buildFlows used to redo per attempt).
+func (ev *Evaluator) buildTemplates() {
+	for uc, u := range ev.prep.UseCases {
+		for idx, f := range u.Flows {
+			ev.flowsTpl = append(ev.flowsTpl, flowInst{
+				uc: uc, idx: idx, bw: f.BandwidthMBs, lat: f.MaxLatencyNS, key: f.Key(),
+			})
+		}
+	}
+	sort.SliceStable(ev.flowsTpl, func(i, j int) bool {
+		a, b := ev.flowsTpl[i], ev.flowsTpl[j]
+		if a.bw != b.bw {
+			return a.bw > b.bw
+		}
+		if a.key.Src != b.key.Src {
+			return a.key.Src < b.key.Src
+		}
+		if a.key.Dst != b.key.Dst {
+			return a.key.Dst < b.key.Dst
+		}
+		return a.uc < b.uc
+	})
+	ev.byPair = make(map[traffic.PairKey][]int)
+	for i, f := range ev.flowsTpl {
+		if _, seen := ev.byPair[f.key]; !seen {
+			ev.pairList = append(ev.pairList, f.key)
+		}
+		ev.byPair[f.key] = append(ev.byPair[f.key], i)
+	}
+	// Demand projection templates: per group, the heaviest flow per pair
+	// determines the reservation size; each core's remaining demand is the
+	// sum over its pairs.
+	numGroups := len(ev.prep.Groups)
+	ev.pairSlots = make([]map[traffic.PairKey]int, numGroups)
+	ev.remOutTpl = make([][]int, numGroups)
+	ev.remInTpl = make([][]int, numGroups)
+	for g := 0; g < numGroups; g++ {
+		ev.pairSlots[g] = make(map[traffic.PairKey]int)
+		ev.remOutTpl[g] = make([]int, ev.numCores)
+		ev.remInTpl[g] = make([]int, ev.numCores)
+	}
+	for _, f := range ev.flowsTpl {
+		g := ev.prep.GroupOf[f.uc]
+		n := tdma.SlotsNeeded(f.bw, ev.p.SlotBandwidthMBs())
+		if n > ev.pairSlots[g][f.key] {
+			ev.pairSlots[g][f.key] = n
+		}
+	}
+	for g := 0; g < numGroups; g++ {
+		for key, n := range ev.pairSlots[g] {
+			ev.remOutTpl[g][key.Src] += n
+			ev.remInTpl[g][key.Dst] += n
+		}
+	}
+	// Routing plans. The driving group is the group of the pair's heaviest
+	// instance (the flow chooseNext selects — same-pair flows share a
+	// preference tier, so the sorted list's first instance always drives);
+	// the remaining groups follow in descending order of their heaviest
+	// same-pair flow, matching Algorithm 2 step 6.
+	ev.plans = make(map[traffic.PairKey]*pairPlan, len(ev.pairList))
+	for _, key := range ev.pairList {
+		insts := ev.byPair[key]
+		maxBW := make(map[int]float64)
+		minLat := make(map[int]float64)
+		for _, i := range insts {
+			f := ev.flowsTpl[i]
+			g := ev.prep.GroupOf[f.uc]
+			if _, ok := maxBW[g]; !ok {
+				minLat[g] = -1
+			}
+			if f.bw > maxBW[g] {
+				maxBW[g] = f.bw
+			}
+			if f.lat > 0 && (minLat[g] < 0 || f.lat < minLat[g]) {
+				minLat[g] = f.lat
+			}
+		}
+		drive := ev.prep.GroupOf[ev.flowsTpl[insts[0]].uc]
+		var rest []int
+		for g := range maxBW {
+			if g != drive {
+				rest = append(rest, g)
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			if maxBW[rest[a]] != maxBW[rest[b]] {
+				return maxBW[rest[a]] > maxBW[rest[b]]
+			}
+			return rest[a] < rest[b]
+		})
+		plan := &pairPlan{allInsts: insts}
+		for _, g := range append([]int{drive}, rest...) {
+			plan.groups = append(plan.groups, g)
+			plan.bw = append(plan.bw, maxBW[g])
+			plan.lat = append(plan.lat, minLat[g])
+		}
+		ev.plans[key] = plan
+	}
+	// Per-group routing worklists in global (bandwidth-sorted) pair order.
+	// With a fixed placement the groups never interact — each owns its slot
+	// tables and candidate costs read only its own state — so evaluating a
+	// group against this list alone reproduces exactly what a full pass
+	// would grant it. The session's per-group rebuild fallback rests on
+	// this decomposition.
+	ev.groupPairs = make([][]pairDemand, numGroups)
+	for _, key := range ev.pairList {
+		plan := ev.plans[key]
+		for i, g := range plan.groups {
+			ev.groupPairs[g] = append(ev.groupPairs[g], pairDemand{
+				key: key, slots: ev.pairSlots[g][key], bw: plan.bw[i], lat: plan.lat[i],
+			})
+		}
+	}
+	// Per-use-case stat iteration: distinct pairs with the flow bandwidth
+	// (use-case validation forbids duplicate pairs, so flows ≡ pairs).
+	ev.ucPairs = make([][]ucPairStat, len(ev.prep.UseCases))
+	for uc, u := range ev.prep.UseCases {
+		for _, f := range u.Flows {
+			ev.ucPairs[uc] = append(ev.ucPairs[uc], ucPairStat{key: f.Key(), bw: f.BandwidthMBs})
+		}
+	}
+	ev.active = make([]int, 0, ev.numCores)
+	seen := make([]bool, ev.numCores)
+	for _, f := range ev.flowsTpl {
+		for _, c := range []traffic.CoreID{f.key.Src, f.key.Dst} {
+			if !seen[c] {
+				seen[c] = true
+				ev.active = append(ev.active, int(c))
+			}
+		}
+	}
+	sort.Ints(ev.active)
+}
+
+// ValidatePlacement checks a fixed placement against the evaluator's
+// topology and NI shape without running the configuration phase: slice
+// lengths, switch/NI ranges, NI-on-switch consistency and per-NI core
+// capacity. Cores with a negative switch are unattached and skipped.
+func (ev *Evaluator) ValidatePlacement(coreSwitch, coreNI []int) error {
+	if len(coreSwitch) != ev.numCores || len(coreNI) != ev.numCores {
+		return fmt.Errorf("core: fixed placement has wrong length (switch %d, NI %d entries, design has %d cores)",
+			len(coreSwitch), len(coreNI), ev.numCores)
+	}
+	numNIs := ev.top.NumSwitches() * ev.p.NIsPerSwitch
+	seats := make([]int, numNIs)
+	for c := 0; c < ev.numCores; c++ {
+		s, ni := coreSwitch[c], coreNI[c]
+		if s < 0 {
+			continue
+		}
+		if s >= ev.top.NumSwitches() || ni < 0 || ni >= numNIs || ni/ev.p.NIsPerSwitch != s {
+			return fmt.Errorf("core: fixed placement of core %d (switch %d, NI %d) invalid", c, s, ni)
+		}
+		seats[ni]++
+		if seats[ni] > ev.p.CoresPerNI {
+			return fmt.Errorf("core: fixed placement overfills NI %d (%d cores, capacity %d)", ni, seats[ni], ev.p.CoresPerNI)
+		}
+	}
+	return nil
+}
+
+// covered reports whether the fix places every communicating core, which
+// lets the evaluation skip the NI demand projections entirely (they only
+// steer the placement of unmapped cores).
+func (ev *Evaluator) covered(fix *placementFix) bool {
+	if fix == nil {
+		return false
+	}
+	for _, c := range ev.active {
+		if fix.CoreSwitch[c] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// getScratch draws (or creates) a clean scratch arena.
+func (ev *Evaluator) getScratch() *evalScratch {
+	if sc, ok := ev.pool.Get().(*evalScratch); ok {
+		return sc
+	}
+	sc := &evalScratch{}
+	sc.states = make([]*tdma.State, len(ev.prep.Groups))
+	for g := range sc.states {
+		st, err := tdma.NewState(ev.totalLinks, ev.p.SlotTableSize)
+		if err != nil {
+			// Params were validated at construction; NewState cannot fail.
+			panic(fmt.Sprintf("core: internal: %v", err))
+		}
+		sc.states[g] = st
+	}
+	sc.flows = make([]flowInst, len(ev.flowsTpl))
+	return sc
+}
+
+// putScratch releases every reservation the evaluation journaled (restoring
+// the states to all-free without an O(links*slots) wipe) and returns the
+// arena to the pool.
+func (ev *Evaluator) putScratch(sc *evalScratch) {
+	for i := len(sc.journal) - 1; i >= 0; i-- {
+		r := sc.journal[i]
+		sc.states[r.group].Release(r.owner, r.path, r.start)
+	}
+	sc.journal = sc.journal[:0]
+	ev.pool.Put(sc)
+}
+
+// mapperFor assembles a mapper over the scratch arena. Immutable tables are
+// shared with the evaluator; mutable ones are copied from the templates.
+func (ev *Evaluator) mapperFor(sc *evalScratch, fix *placementFix) (*mapper, error) {
+	m := &mapper{
+		ev: ev, prep: ev.prep, p: ev.p, top: ev.top,
+		meshLinks: ev.meshLinks, totalLinks: ev.totalLinks,
+		states:    sc.states,
+		byPair:    ev.byPair,
+		pairSlots: ev.pairSlots,
+		journal:   sc.journal[:0],
+	}
+	copy(sc.flows, ev.flowsTpl)
+	m.flows = sc.flows
+	if !ev.covered(fix) {
+		if sc.remOut == nil {
+			sc.remOut = make([][]int, len(ev.prep.Groups))
+			sc.remIn = make([][]int, len(ev.prep.Groups))
+			for g := range sc.remOut {
+				sc.remOut[g] = make([]int, ev.numCores)
+				sc.remIn[g] = make([]int, ev.numCores)
+			}
+		}
+		for g := range sc.remOut {
+			copy(sc.remOut[g], ev.remOutTpl[g])
+			copy(sc.remIn[g], ev.remInTpl[g])
+		}
+		m.remOut, m.remIn = sc.remOut, sc.remIn
+	}
+	m.configs = make([]map[traffic.PairKey]*Assignment, len(ev.prep.Groups))
+	for g := range m.configs {
+		m.configs[g] = make(map[traffic.PairKey]*Assignment)
+	}
+	if err := m.placeFixed(fix); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Evaluate runs the configuration phase on a fixed core placement using the
+// pooled scratch state and returns the complete Result. The output is
+// bit-identical to EvaluateFixed on the same inputs; only the fixed
+// per-call costs are gone.
+func (ev *Evaluator) Evaluate(coreSwitch, coreNI []int) (*Result, error) {
+	if err := ev.ValidatePlacement(coreSwitch, coreNI); err != nil {
+		return nil, err
+	}
+	sc := ev.getScratch()
+	m, err := ev.mapperFor(sc, &placementFix{CoreSwitch: coreSwitch, CoreNI: coreNI})
+	if err != nil {
+		ev.putScratch(sc)
+		return nil, err
+	}
+	mapping, err := m.run()
+	res := (*Result)(nil)
+	if err == nil {
+		dim := topology.Dim{Rows: ev.top.Rows, Cols: ev.top.Cols}
+		res = &Result{Mapping: mapping, Attempts: []Attempt{{Dim: dim}}, Stats: computeStats(mapping, m.states)}
+	}
+	sc.journal = m.journal
+	ev.putScratch(sc)
+	return res, err
+}
+
+// attempt runs one constructive/configuration pass and, on success, hands
+// the final TDMA states and reservation journal to the caller (the growth
+// loop and Session initialization keep them). The scratch arena backs the
+// run: a failed attempt recycles it, a successful one detaches it — the
+// pool lazily allocates a replacement — so the frequent outcome of a
+// saturated fabric (infeasible) costs no state allocation at all.
+func (ev *Evaluator) attempt(fix *placementFix) (*Mapping, []*tdma.State, []resRecord, error) {
+	sc := ev.getScratch()
+	m, err := ev.mapperFor(sc, fix)
+	if err != nil {
+		ev.putScratch(sc)
+		return nil, nil, nil, err
+	}
+	mapping, err := m.run()
+	if err != nil {
+		sc.journal = m.journal
+		ev.putScratch(sc)
+		return nil, nil, nil, err
+	}
+	return mapping, m.states, m.journal, nil
+}
+
+// reserveSlots selects a path and aligned slots for one pair on one state:
+// candidate paths cheapest-first (from the per-pair cache), slot count
+// escalating past the bandwidth requirement when the latency bound needs a
+// smaller gap. On success the reservation is committed to st under owner
+// and the full path, starts and slot count are returned.
+func (ev *Evaluator) reserveSlots(st *tdma.State, owner int32, key traffic.PairKey,
+	srcS, dstS, egress, ingress int, bw, latencyNS float64) (path []int, starts []int, n int, err error) {
+	T := ev.p.SlotTableSize
+	slots0 := tdma.SlotsNeeded(bw, ev.p.SlotBandwidthMBs())
+	if slots0 > T {
+		return nil, nil, 0, fmt.Errorf("flow %d->%d needs %d slots, table has %d (bandwidth %0.1f exceeds link capacity %0.1f MB/s)",
+			key.Src, key.Dst, slots0, T, bw, ev.p.LinkBandwidthMBs())
+	}
+	latBudget := ev.p.LatencyBudgetSlots(latencyNS)
+	var meshCands []route.Path
+	if srcS == dstS {
+		meshCands = []route.Path{nil}
+	} else {
+		meshCands = ev.paths.Candidates(st, topology.SwitchID(srcS), topology.SwitchID(dstS), slots0, ev.p.Cost)
+		if len(meshCands) == 0 {
+			return nil, nil, 0, fmt.Errorf("flow %d->%d: no feasible path %d->%d (%d slots)", key.Src, key.Dst, srcS, dstS, slots0)
+		}
+		if ev.p.DisableUnifiedSlots {
+			// Ablation A2: path selection ignores slot alignment — commit to
+			// the single cheapest bandwidth-feasible path.
+			meshCands = meshCands[:1]
+		}
+	}
+	maxLen := 2
+	for _, cand := range meshCands {
+		if len(cand)+2 > maxLen {
+			maxLen = len(cand) + 2
+		}
+	}
+	full := make([]int, 0, maxLen) // shared probe buffer; cloned only on success
+	for _, cand := range meshCands {
+		full = full[:0]
+		full = append(full, egress)
+		for _, l := range cand {
+			full = append(full, int(l))
+		}
+		full = append(full, ingress)
+		for n := slots0; n <= T; n++ {
+			starts, ok := st.FindAligned(full, n)
+			if !ok {
+				break // more slots cannot become available
+			}
+			if latBudget >= 0 && tdma.WorstCaseLatencySlots(starts, len(full), T) > latBudget {
+				continue // spread more slots to shrink the gap
+			}
+			if err := st.Reserve(owner, full, starts); err != nil {
+				return nil, nil, 0, fmt.Errorf("internal: reserve after FindAligned: %w", err)
+			}
+			return append([]int(nil), full...), starts, n, nil
+		}
+	}
+	return nil, nil, 0, fmt.Errorf("flow %d->%d: no aligned slots (need %d, latency budget %d slots) on any of %d paths",
+		key.Src, key.Dst, slots0, latBudget, len(meshCands))
+}

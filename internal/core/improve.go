@@ -2,56 +2,56 @@ package core
 
 import (
 	"math/rand"
-
-	"nocmap/internal/tdma"
-	"nocmap/internal/usecase"
 )
 
-// improve is the placement-refinement pass (extension X1). The paper notes
-// that after the constructive mapping "the solution space can be explored
-// further by considering swapping of vertices using simulated annealing or
-// tabu search" [19]. This implementation performs deterministic greedy
-// hill-climbing: candidate core swaps are proposed from a seeded PRNG, the
-// configuration phase is re-run with the swapped placement, and the swap is
-// kept only when it remains feasible and strictly lowers the
-// bandwidth-weighted mesh hop count.
-func improve(m *Mapping, states []*tdma.State, prep *usecase.Prepared, numCores int, p Params) (*Mapping, []*tdma.State) {
-	iters := p.ImproveIters
+// improveResult is the placement-refinement pass (extension X1). The paper
+// notes that after the constructive mapping "the solution space can be
+// explored further by considering swapping of vertices using simulated
+// annealing or tabu search" [19]. This implementation performs
+// deterministic greedy hill-climbing: candidate core swaps are proposed
+// from a seeded PRNG and re-scored through the evaluator's pooled
+// configuration phase (identical output to a from-scratch re-run, without
+// the per-candidate validation and allocation), and a swap is kept only
+// when it remains feasible and strictly lowers the bandwidth-weighted mesh
+// hop count.
+func improveResult(ev *Evaluator, res *Result) *Result {
+	iters := ev.p.ImproveIters
 	if iters <= 0 {
-		return m, states
+		return res
 	}
 	rng := rand.New(rand.NewSource(1)) // fixed seed: runs are reproducible
-	best := m
-	bestStates := states
-	bestCost := computeStats(best, bestStates).AvgMeshHops
+	best := res
+	bestCost := res.Stats.AvgMeshHops
 
 	// Collect attached cores once; swaps permute their switch/NI seats.
 	var attached []int
-	for c, s := range m.CoreSwitch {
+	for c, s := range res.Mapping.CoreSwitch {
 		if s >= 0 {
 			attached = append(attached, c)
 		}
 	}
 	if len(attached) < 2 {
-		return m, states
+		return res
 	}
 	for it := 0; it < iters; it++ {
 		a := attached[rng.Intn(len(attached))]
 		b := attached[rng.Intn(len(attached))]
-		if a == b || best.CoreSwitch[a] == best.CoreSwitch[b] {
+		if a == b || best.Mapping.CoreSwitch[a] == best.Mapping.CoreSwitch[b] {
 			continue
 		}
-		cs := append([]int(nil), best.CoreSwitch...)
-		cn := append([]int(nil), best.CoreNI...)
+		cs := append([]int(nil), best.Mapping.CoreSwitch...)
+		cn := append([]int(nil), best.Mapping.CoreNI...)
 		cs[a], cs[b] = cs[b], cs[a]
 		cn[a], cn[b] = cn[b], cn[a]
-		cand, candStates, err := attemptMap(prep, numCores, best.Topology, p, &placementFix{CoreSwitch: cs, CoreNI: cn})
+		cand, err := ev.Evaluate(cs, cn)
 		if err != nil {
 			continue
 		}
-		if cost := computeStats(cand, candStates).AvgMeshHops; cost < bestCost-1e-12 {
-			best, bestStates, bestCost = cand, candStates, cost
+		if cand.Stats.AvgMeshHops < bestCost-1e-12 {
+			// Keep the original search trace; only the mapping improves.
+			cand.Attempts = best.Attempts
+			best, bestCost = cand, cand.Stats.AvgMeshHops
 		}
 	}
-	return best, bestStates
+	return best
 }

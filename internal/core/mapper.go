@@ -45,14 +45,16 @@ func MapContext(ctx context.Context, prep *usecase.Prepared, numCores int, p Par
 			err := fmt.Errorf("core: %s hosts %d cores, design needs %d", top, top.MaxCores(), active)
 			return nil, &InfeasibleError{Fabric: top.String(), Attempts: []Attempt{{Dim: dim, Skipped: true}}, Last: err}
 		}
-		m, states, err := attemptMap(prep, numCores, top, p, nil)
+		ev := newEvaluator(prep, numCores, top, p)
+		m, states, _, err := ev.attempt(nil)
 		if err != nil {
 			return nil, &InfeasibleError{Fabric: top.String(), Attempts: []Attempt{{Dim: dim, Err: err.Error()}}, Last: err}
 		}
+		res := &Result{Mapping: m, Attempts: []Attempt{{Dim: dim}}, Stats: computeStats(m, states)}
 		if p.Improve {
-			m, states = improve(m, states, prep, numCores, p)
+			res = improveResult(ev, res)
 		}
-		return &Result{Mapping: m, Attempts: []Attempt{{Dim: dim}}, Stats: computeStats(m, states)}, nil
+		return res, nil
 	}
 	var attempts []Attempt
 	var lastErr error
@@ -68,17 +70,19 @@ func MapContext(ctx context.Context, prep *usecase.Prepared, numCores int, p Par
 		if err != nil {
 			return nil, err
 		}
-		m, states, err := attemptMap(prep, numCores, top, p, nil)
+		ev := newEvaluator(prep, numCores, top, p)
+		m, states, _, err := ev.attempt(nil)
 		if err != nil {
 			attempts = append(attempts, Attempt{Dim: dim, Err: err.Error()})
 			lastErr = err
 			continue
 		}
 		attempts = append(attempts, Attempt{Dim: dim})
+		res := &Result{Mapping: m, Attempts: attempts, Stats: computeStats(m, states)}
 		if p.Improve {
-			m, states = improve(m, states, prep, numCores, p)
+			res = improveResult(ev, res)
 		}
-		return &Result{Mapping: m, Attempts: attempts, Stats: computeStats(m, states)}, nil
+		return res, nil
 	}
 	return nil, &InfeasibleError{MaxDim: p.MaxMeshDim, Attempts: attempts, Last: lastErr}
 }
@@ -103,21 +107,18 @@ func ConfigureFixed(prep *usecase.Prepared, numCores int, top *topology.Topology
 // its quality is read off the returned Stats. The given topology is used as
 // is — mesh, torus or custom — so engines explore whatever fabric they
 // built the placement on.
+//
+// EvaluateFixed is a compatibility wrapper that builds a throwaway
+// Evaluator per call; callers scoring many placements on one topology
+// should construct the Evaluator once and call Evaluate (or drive a
+// Session) to amortize validation, precomputation and state allocation.
 func EvaluateFixed(prep *usecase.Prepared, numCores int, top *topology.Topology,
 	coreSwitch, coreNI []int, p Params) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if err := validateInput(prep, numCores); err != nil {
-		return nil, err
-	}
-	fix := &placementFix{CoreSwitch: coreSwitch, CoreNI: coreNI}
-	m, states, err := attemptMap(prep, numCores, top, p, fix)
+	ev, err := NewEvaluator(prep, numCores, top, p)
 	if err != nil {
 		return nil, err
 	}
-	dim := topology.Dim{Rows: top.Rows, Cols: top.Cols}
-	return &Result{Mapping: m, Attempts: []Attempt{{Dim: dim}}, Stats: computeStats(m, states)}, nil
+	return ev.Evaluate(coreSwitch, coreNI)
 }
 
 // InfeasibleError reports that no fabric the search explored could satisfy
@@ -189,8 +190,12 @@ type flowInst struct {
 	done bool
 }
 
-// mapper carries the working state of one attempt on one topology.
+// mapper carries the working state of one attempt on one topology. The
+// immutable tables (byPair, pairSlots, the routing plans reached through
+// ev) are shared with the owning Evaluator; the mutable ones are per
+// attempt, drawn from the evaluator's scratch pool or freshly allocated.
 type mapper struct {
+	ev   *Evaluator
 	prep *usecase.Prepared
 	p    Params
 	top  *topology.Topology
@@ -220,12 +225,17 @@ type mapper struct {
 	// or sink. Projected NI occupancy (current reservations + remaining
 	// demand of the NI's cores) steers placement: greedy per-flow decisions
 	// would otherwise co-locate cores whose later flows overrun the NI.
+	// Both rem tables are nil when the fix places every communicating core
+	// — no placement decisions remain, so no projection is ever read.
 	pairSlots []map[traffic.PairKey]int
 	remOut    [][]int
 	remIn     [][]int
 
 	journal   []resRecord
 	nextOwner int32
+	// scanFrom skips the done prefix of the flow list in chooseNext; flows
+	// only ever transition to done, so the hint is monotone and safe.
+	scanFrom int
 }
 
 type resRecord struct {
@@ -244,141 +254,76 @@ type placement struct {
 	src, dst           traffic.CoreID
 }
 
-func attemptMap(prep *usecase.Prepared, numCores int, top *topology.Topology, p Params, fix *placementFix) (*Mapping, []*tdma.State, error) {
-	m := &mapper{prep: prep, p: p, top: top}
-	m.meshLinks = top.NumLinks()
-	m.totalLinks = m.meshLinks + 2*top.NumSwitches()*p.NIsPerSwitch
-	m.states = make([]*tdma.State, len(prep.Groups))
-	m.configs = make([]map[traffic.PairKey]*Assignment, len(prep.Groups))
-	for g := range prep.Groups {
-		st, err := tdma.NewState(m.totalLinks, p.SlotTableSize)
-		if err != nil {
-			return nil, nil, err
-		}
-		m.states[g] = st
-		m.configs[g] = make(map[traffic.PairKey]*Assignment)
-	}
+// placeFixed initializes the placement arrays and applies the fix, if any.
+func (m *mapper) placeFixed(fix *placementFix) error {
+	numCores := m.ev.numCores
 	m.coreSwitch = make([]int, numCores)
 	m.coreNI = make([]int, numCores)
 	for i := range m.coreSwitch {
 		m.coreSwitch[i] = -1
 		m.coreNI[i] = -1
 	}
-	m.switchCores = make([]int, top.NumSwitches())
-	m.niCores = make([]int, top.NumSwitches()*p.NIsPerSwitch)
-	if fix != nil {
-		if len(fix.CoreSwitch) != numCores || len(fix.CoreNI) != numCores {
-			return nil, nil, fmt.Errorf("core: fixed placement has wrong length")
-		}
-		for c := 0; c < numCores; c++ {
-			s, ni := fix.CoreSwitch[c], fix.CoreNI[c]
-			if s < 0 {
-				continue
-			}
-			if s >= top.NumSwitches() || ni < 0 || ni >= len(m.niCores) || ni/p.NIsPerSwitch != s {
-				return nil, nil, fmt.Errorf("core: fixed placement of core %d (switch %d, NI %d) invalid", c, s, ni)
-			}
-			m.coreSwitch[c] = s
-			m.coreNI[c] = ni
-			m.switchCores[s]++
-			m.niCores[ni]++
-		}
+	m.switchCores = make([]int, m.top.NumSwitches())
+	m.niCores = make([]int, m.top.NumSwitches()*m.p.NIsPerSwitch)
+	if fix == nil {
+		return nil
 	}
+	if len(fix.CoreSwitch) != numCores || len(fix.CoreNI) != numCores {
+		return fmt.Errorf("core: fixed placement has wrong length")
+	}
+	for c := 0; c < numCores; c++ {
+		s, ni := fix.CoreSwitch[c], fix.CoreNI[c]
+		if s < 0 {
+			continue
+		}
+		if s >= m.top.NumSwitches() || ni < 0 || ni >= len(m.niCores) || ni/m.p.NIsPerSwitch != s {
+			return fmt.Errorf("core: fixed placement of core %d (switch %d, NI %d) invalid", c, s, ni)
+		}
+		m.coreSwitch[c] = s
+		m.coreNI[c] = ni
+		m.switchCores[s]++
+		m.niCores[ni]++
+	}
+	return nil
+}
 
-	m.buildFlows()
-
-	// Algorithm 2 steps 3-7: repeatedly choose the heaviest remaining flow
-	// (preferring already-mapped endpoints), place and route it together
-	// with the same-pair flows of every other use-case, until all flows are
-	// mapped.
+// run performs Algorithm 2 steps 3-7: repeatedly choose the heaviest
+// remaining flow (preferring already-mapped endpoints), place and route it
+// together with the same-pair flows of every other use-case, until all
+// flows are mapped; then assemble the Mapping.
+func (m *mapper) run() (*Mapping, error) {
 	for {
 		fi := m.chooseNext()
 		if fi < 0 {
 			break
 		}
 		if err := m.placeAndRoute(fi); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
-
 	mapping := &Mapping{
-		Topology:   top,
-		Params:     p,
-		Prep:       prep,
+		Topology:   m.top,
+		Params:     m.p,
+		Prep:       m.prep,
 		CoreSwitch: m.coreSwitch,
 		CoreNI:     m.coreNI,
 	}
 	// Per-use-case configurations are restrictions of the group
 	// configuration to the use-case's own flows; assignments are shared.
-	mapping.Configs = make([]*Config, len(prep.UseCases))
-	for uc, u := range prep.UseCases {
+	mapping.Configs = make([]*Config, len(m.prep.UseCases))
+	for uc, u := range m.prep.UseCases {
 		cfg := &Config{Assignments: make(map[traffic.PairKey]*Assignment, len(u.Flows))}
-		g := prep.GroupOf[uc]
+		g := m.prep.GroupOf[uc]
 		for _, f := range u.Flows {
 			a, ok := m.configs[g][f.Key()]
 			if !ok {
-				return nil, nil, fmt.Errorf("core: internal: flow %d->%d of use-case %d unassigned", f.Src, f.Dst, uc)
+				return nil, fmt.Errorf("core: internal: flow %d->%d of use-case %d unassigned", f.Src, f.Dst, uc)
 			}
 			cfg.Assignments[f.Key()] = a
 		}
 		mapping.Configs[uc] = cfg
 	}
-	return mapping, m.states, nil
-}
-
-// buildFlows assembles the global flow list sorted by descending bandwidth
-// (Algorithm 2 step 2), with deterministic tie-breaking.
-func (m *mapper) buildFlows() {
-	for uc, u := range m.prep.UseCases {
-		for idx, f := range u.Flows {
-			m.flows = append(m.flows, flowInst{
-				uc: uc, idx: idx, bw: f.BandwidthMBs, lat: f.MaxLatencyNS, key: f.Key(),
-			})
-		}
-	}
-	sort.SliceStable(m.flows, func(i, j int) bool {
-		a, b := m.flows[i], m.flows[j]
-		if a.bw != b.bw {
-			return a.bw > b.bw
-		}
-		if a.key.Src != b.key.Src {
-			return a.key.Src < b.key.Src
-		}
-		if a.key.Dst != b.key.Dst {
-			return a.key.Dst < b.key.Dst
-		}
-		return a.uc < b.uc
-	})
-	m.byPair = make(map[traffic.PairKey][]int)
-	for i, f := range m.flows {
-		m.byPair[f.key] = append(m.byPair[f.key], i)
-	}
-	// Demand projection tables: per group, the heaviest flow per pair
-	// determines the reservation size; each core's remaining demand is the
-	// sum over its pairs.
-	numGroups := len(m.prep.Groups)
-	m.pairSlots = make([]map[traffic.PairKey]int, numGroups)
-	m.remOut = make([][]int, numGroups)
-	m.remIn = make([][]int, numGroups)
-	numCores := len(m.coreSwitch)
-	for g := 0; g < numGroups; g++ {
-		m.pairSlots[g] = make(map[traffic.PairKey]int)
-		m.remOut[g] = make([]int, numCores)
-		m.remIn[g] = make([]int, numCores)
-	}
-	for _, f := range m.flows {
-		g := m.prep.GroupOf[f.uc]
-		n := tdma.SlotsNeeded(f.bw, m.p.SlotBandwidthMBs())
-		if n > m.pairSlots[g][f.key] {
-			m.pairSlots[g][f.key] = n
-		}
-	}
-	for g := 0; g < numGroups; g++ {
-		for key, n := range m.pairSlots[g] {
-			m.remOut[g][key.Src] += n
-			m.remIn[g][key.Dst] += n
-		}
-	}
+	return mapping, nil
 }
 
 // projectedNIUsed returns the projected slot usage of an NI link in group g:
@@ -425,8 +370,11 @@ func (m *mapper) bestProjectedNI(s, g int, role niRole, extraCore int) int {
 // endpoint. The list is bandwidth-sorted, so the first hit per tier is the
 // heaviest of that tier.
 func (m *mapper) chooseNext() int {
+	for m.scanFrom < len(m.flows) && m.flows[m.scanFrom].done {
+		m.scanFrom++
+	}
 	tierBest := [3]int{-1, -1, -1}
-	for i := range m.flows {
+	for i := m.scanFrom; i < len(m.flows); i++ {
 		f := &m.flows[i]
 		if f.done {
 			continue
@@ -460,12 +408,12 @@ func (m *mapper) chooseNext() int {
 
 // placeAndRoute handles one chosen flow (steps 4-6): try candidate
 // placements for any unmapped endpoint; for each, route and reserve the
-// flow's pair in every group that communicates over it. The first placement
-// for which all groups succeed is committed.
+// flow's pair in every group that communicates over it (the precomputed
+// routing plan). The first placement for which all groups succeed is
+// committed.
 func (m *mapper) placeAndRoute(fi int) error {
 	f := m.flows[fi]
-	key := f.key
-	groupOrder, instOf := m.collectSamePair(fi)
+	plan := m.ev.plans[f.key]
 
 	placements, err := m.candidatePlacements(f)
 	if err != nil {
@@ -478,12 +426,10 @@ func (m *mapper) placeAndRoute(fi int) error {
 			continue
 		}
 		mark := len(m.journal)
-		err := m.routeGroups(key, groupOrder, instOf)
+		err := m.routeGroups(f.key, plan)
 		if err == nil {
-			for _, insts := range instOf {
-				for _, i := range insts {
-					m.flows[i].done = true
-				}
+			for _, i := range plan.allInsts {
+				m.flows[i].done = true
 			}
 			return nil
 		}
@@ -492,46 +438,7 @@ func (m *mapper) placeAndRoute(fi int) error {
 		m.undoPlacement(pl)
 	}
 	return fmt.Errorf("core: flow %d->%d (%.1f MB/s, use-case %q): %v",
-		key.Src, key.Dst, f.bw, m.prep.UseCases[f.uc].Name, lastErr)
-}
-
-// collectSamePair gathers every not-yet-done flow instance with the chosen
-// pair, bucketed by configuration group. The driving flow's group comes
-// first; remaining groups follow in descending order of their heaviest
-// same-pair flow (step 6 of Algorithm 2).
-func (m *mapper) collectSamePair(fi int) ([]int, map[int][]int) {
-	key := m.flows[fi].key
-	instOf := make(map[int][]int)
-	for _, i := range m.byPair[key] {
-		if m.flows[i].done {
-			continue
-		}
-		g := m.prep.GroupOf[m.flows[i].uc]
-		instOf[g] = append(instOf[g], i)
-	}
-	drive := m.prep.GroupOf[m.flows[fi].uc]
-	groups := make([]int, 0, len(instOf))
-	for g := range instOf {
-		if g != drive {
-			groups = append(groups, g)
-		}
-	}
-	maxBW := func(g int) float64 {
-		var mx float64
-		for _, i := range instOf[g] {
-			if m.flows[i].bw > mx {
-				mx = m.flows[i].bw
-			}
-		}
-		return mx
-	}
-	sort.Slice(groups, func(a, b int) bool {
-		if maxBW(groups[a]) != maxBW(groups[b]) {
-			return maxBW(groups[a]) > maxBW(groups[b])
-		}
-		return groups[a] < groups[b]
-	})
-	return append([]int{drive}, groups...), instOf
+		f.key.Src, f.key.Dst, f.bw, m.prep.UseCases[f.uc].Name, lastErr)
 }
 
 // candidatePlacements enumerates (src switch, dst switch) options for the
@@ -785,24 +692,13 @@ func (m *mapper) undoPlacement(pl placement) {
 	}
 }
 
-// routeGroups reserves the pair in every group that uses it. For each group
-// the reservation is sized by the group's heaviest same-pair flow and must
+// routeGroups reserves the pair in every group of its routing plan: the
+// reservation is sized by the group's heaviest same-pair flow and must
 // satisfy the group's tightest latency constraint; it is recorded once in
 // the group's shared state (Algorithm 2 steps 4-6).
-func (m *mapper) routeGroups(key traffic.PairKey, groupOrder []int, instOf map[int][]int) error {
-	for _, g := range groupOrder {
-		insts := instOf[g]
-		var maxBW float64
-		lat := -1.0
-		for _, i := range insts {
-			if m.flows[i].bw > maxBW {
-				maxBW = m.flows[i].bw
-			}
-			if l := m.flows[i].lat; l > 0 && (lat < 0 || l < lat) {
-				lat = l
-			}
-		}
-		if err := m.reservePair(g, key, maxBW, lat); err != nil {
+func (m *mapper) routeGroups(key traffic.PairKey, plan *pairPlan) error {
+	for i, g := range plan.groups {
+		if err := m.reservePair(g, key, plan.bw[i], plan.lat[i]); err != nil {
 			return fmt.Errorf("group %d: %w", g, err)
 		}
 	}
@@ -810,65 +706,28 @@ func (m *mapper) routeGroups(key traffic.PairKey, groupOrder []int, instOf map[i
 }
 
 // reservePair selects a path and aligned slots for one pair in one group's
-// state. Candidates are tried cheapest-first; the slot count escalates past
-// the bandwidth requirement if the latency bound needs a smaller slot gap.
+// state (via the evaluator's shared reservation primitive) and journals the
+// result.
 func (m *mapper) reservePair(g int, key traffic.PairKey, bw float64, latencyNS float64) error {
-	st := m.states[g]
-	T := m.p.SlotTableSize
-	slots0 := tdma.SlotsNeeded(bw, m.p.SlotBandwidthMBs())
-	if slots0 > T {
-		return fmt.Errorf("flow %d->%d needs %d slots, table has %d (bandwidth %0.1f exceeds link capacity %0.1f MB/s)",
-			key.Src, key.Dst, slots0, T, bw, m.p.LinkBandwidthMBs())
-	}
 	srcS, dstS := m.coreSwitch[key.Src], m.coreSwitch[key.Dst]
 	egress := m.niEgress(m.coreNI[key.Src])
 	ingress := m.niIngress(m.coreNI[key.Dst])
-	latBudget := m.p.LatencyBudgetSlots(latencyNS)
-
-	var meshCands []route.Path
-	if srcS == dstS {
-		meshCands = []route.Path{nil}
-	} else {
-		meshCands = route.Candidates(m.top, st, topology.SwitchID(srcS), topology.SwitchID(dstS), slots0, m.p.Cost)
-		if len(meshCands) == 0 {
-			return fmt.Errorf("flow %d->%d: no feasible path %d->%d (%d slots)", key.Src, key.Dst, srcS, dstS, slots0)
-		}
-		if m.p.DisableUnifiedSlots {
-			// Ablation A2: path selection ignores slot alignment — commit to
-			// the single cheapest bandwidth-feasible path.
-			meshCands = meshCands[:1]
-		}
+	path, starts, n, err := m.ev.reserveSlots(m.states[g], m.nextOwner, key, srcS, dstS, egress, ingress, bw, latencyNS)
+	if err != nil {
+		return err
 	}
-	for _, cand := range meshCands {
-		full := make([]int, 0, len(cand)+2)
-		full = append(full, egress)
-		full = append(full, cand.Ints()...)
-		full = append(full, ingress)
-		for n := slots0; n <= T; n++ {
-			starts, ok := st.FindAligned(full, n)
-			if !ok {
-				break // more slots cannot become available
-			}
-			if latBudget >= 0 && tdma.WorstCaseLatencySlots(starts, len(full), T) > latBudget {
-				continue // spread more slots to shrink the gap
-			}
-			owner := m.nextOwner
-			m.nextOwner++
-			if err := st.Reserve(owner, full, starts); err != nil {
-				return fmt.Errorf("internal: reserve after FindAligned: %w", err)
-			}
-			a := &Assignment{Path: full, Starts: starts, SlotCount: n}
-			m.configs[g][key] = a
-			// The pair's projected demand is now realized.
-			demand := m.pairSlots[g][key]
-			m.remOut[g][key.Src] -= demand
-			m.remIn[g][key.Dst] -= demand
-			m.journal = append(m.journal, resRecord{group: g, owner: owner, path: full, start: starts, key: key, demand: demand})
-			return nil
-		}
+	owner := m.nextOwner
+	m.nextOwner++
+	m.configs[g][key] = &Assignment{Path: path, Starts: starts, SlotCount: n}
+	// The pair's projected demand is now realized.
+	demand := 0
+	if m.remOut != nil {
+		demand = m.pairSlots[g][key]
+		m.remOut[g][key.Src] -= demand
+		m.remIn[g][key.Dst] -= demand
 	}
-	return fmt.Errorf("flow %d->%d: no aligned slots (need %d, latency budget %d slots) on any of %d paths",
-		key.Src, key.Dst, slots0, latBudget, len(meshCands))
+	m.journal = append(m.journal, resRecord{group: g, owner: owner, path: path, start: starts, key: key, demand: demand})
+	return nil
 }
 
 func (m *mapper) rollback(mark int) {
@@ -876,8 +735,10 @@ func (m *mapper) rollback(mark int) {
 		r := m.journal[i]
 		m.states[r.group].Release(r.owner, r.path, r.start)
 		delete(m.configs[r.group], r.key)
-		m.remOut[r.group][r.key.Src] += r.demand
-		m.remIn[r.group][r.key.Dst] += r.demand
+		if m.remOut != nil {
+			m.remOut[r.group][r.key.Src] += r.demand
+			m.remIn[r.group][r.key.Dst] += r.demand
+		}
 	}
 	m.journal = m.journal[:mark]
 }

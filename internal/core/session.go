@@ -1,0 +1,522 @@
+package core
+
+import (
+	"fmt"
+
+	"nocmap/internal/tdma"
+	"nocmap/internal/topology"
+	"nocmap/internal/traffic"
+)
+
+// Session is incremental evaluation over one evolving placement. It owns a
+// fully-configured state (every flow of every group routed and reserved)
+// and evaluates a move — a few cores changing seats — by tearing down and
+// re-routing only the pairs whose endpoints moved, instead of
+// re-configuring the world. When the delta path cannot re-route a pair
+// (the incremental order wedges where a from-scratch pass would not), it
+// falls back to a full re-evaluation transparently — and because the
+// groups of a fixed placement never share slot tables, that fallback
+// decomposes per smooth-switching group: only the wedged group is re-routed
+// from scratch, and one group's from-scratch failure rejects the move
+// without evaluating the rest.
+//
+// A move is two-phase: TryMove reserves the new configuration and returns
+// its statistics with the move pending; Keep commits it, Undo restores the
+// previous configuration exactly. This is the shape a Metropolis acceptance
+// loop needs — the annealer scores the candidate before deciding.
+//
+// The configurations a session reaches by deltas are always feasible,
+// verified reservations, but they are not guaranteed to be the same
+// configuration a from-scratch evaluation of the same placement would
+// build: the incremental pass re-routes moved pairs against the standing
+// reservations of unmoved ones, while a full pass routes everything in
+// global bandwidth order. Search engines only need feasibility plus a
+// deterministic score, which both paths provide.
+//
+// A Session is single-owner mutable state, like tdma.State: concurrent
+// searches each own one (the evaluator underneath is shared).
+type Session struct {
+	ev *Evaluator
+
+	cs, cn    []int
+	states    []*tdma.State
+	recs      []map[traffic.PairKey]*resRecord
+	nextOwner int32
+	stats     Stats
+
+	pending *pendingMove
+}
+
+// pendingMove remembers how to undo the in-flight TryMove.
+type pendingMove struct {
+	stats Stats
+
+	// Delta bookkeeping per group: records released by the teardown and
+	// fresh records the re-route granted.
+	oldByGroup [][]*resRecord
+	newByGroup [][]*resRecord
+
+	// rebuilt maps each group the fallback re-evaluated from scratch to its
+	// complete pre-move record set (restored wholesale on Undo).
+	rebuilt map[int]map[traffic.PairKey]*resRecord
+
+	oldCS, oldCN []int
+}
+
+// NewSession fully evaluates the placement and, on success, returns a
+// session positioned at it. Every communicating core must be placed: a
+// session evaluates moves of an existing complete placement, it does not
+// run the constructive placement phase.
+func (ev *Evaluator) NewSession(coreSwitch, coreNI []int) (*Session, error) {
+	if err := ev.ValidatePlacement(coreSwitch, coreNI); err != nil {
+		return nil, err
+	}
+	fix := &placementFix{CoreSwitch: coreSwitch, CoreNI: coreNI}
+	if !ev.covered(fix) {
+		return nil, fmt.Errorf("core: session placement leaves communicating cores unattached")
+	}
+	mapping, states, journal, err := ev.attempt(fix)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ev:     ev,
+		cs:     append([]int(nil), coreSwitch...),
+		cn:     append([]int(nil), coreNI...),
+		states: states,
+	}
+	s.recs = recsFromJournal(ev, journal)
+	s.nextOwner = int32(len(journal))
+	s.stats = computeStats(mapping, states)
+	return s, nil
+}
+
+// SessionFrom positions a session at an existing Result's configuration
+// without re-running the configuration phase: the result's reservations are
+// replayed into fresh slot tables exactly as granted. This matters beyond
+// speed — a constructive (growth-loop) result is not always reproducible by
+// a fixed-placement re-evaluation, because the constructive pass routed
+// flows while the placement was still emerging; adopting the reservations
+// keeps such results annealable. The result must be a feasible
+// configuration on this evaluator's topology (engine results verified by
+// internal/verify always are).
+func (ev *Evaluator) SessionFrom(res *Result) (*Session, error) {
+	if res == nil || res.Mapping == nil {
+		return nil, fmt.Errorf("core: session from nil result")
+	}
+	m := res.Mapping
+	if m.Topology.NumSwitches() != ev.top.NumSwitches() || m.Topology.NumLinks() != ev.top.NumLinks() {
+		return nil, fmt.Errorf("core: result fabric %s does not match evaluator fabric %s", m.Topology, ev.top)
+	}
+	if err := ev.ValidatePlacement(m.CoreSwitch, m.CoreNI); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		ev:     ev,
+		cs:     append([]int(nil), m.CoreSwitch...),
+		cn:     append([]int(nil), m.CoreNI...),
+		states: make([]*tdma.State, len(ev.prep.Groups)),
+		recs:   make([]map[traffic.PairKey]*resRecord, len(ev.prep.Groups)),
+	}
+	for g := range s.states {
+		st, err := tdma.NewState(ev.totalLinks, ev.p.SlotTableSize)
+		if err != nil {
+			return nil, err
+		}
+		s.states[g] = st
+		s.recs[g] = make(map[traffic.PairKey]*resRecord)
+	}
+	// Collect the group-shared assignment of every (group, pair) from the
+	// per-use-case configurations, then replay it.
+	for uc := range ev.prep.UseCases {
+		g := ev.prep.GroupOf[uc]
+		cfg := m.Configs[uc]
+		if cfg == nil {
+			return nil, fmt.Errorf("core: result misses configuration of use-case %d", uc)
+		}
+		for _, ps := range ev.ucPairs[uc] {
+			a := cfg.Assignments[ps.key]
+			if a == nil {
+				return nil, fmt.Errorf("core: result misses assignment of pair %d->%d", ps.key.Src, ps.key.Dst)
+			}
+			if _, done := s.recs[g][ps.key]; done {
+				continue
+			}
+			r := &resRecord{group: g, owner: s.nextOwner, path: a.Path, start: a.Starts, key: ps.key}
+			if err := s.states[g].Reserve(r.owner, r.path, r.start); err != nil {
+				return nil, fmt.Errorf("core: result not reservable (pair %d->%d, group %d): %w", ps.key.Src, ps.key.Dst, g, err)
+			}
+			s.nextOwner++
+			s.recs[g][ps.key] = r
+		}
+	}
+	s.stats = s.statsFromRecs()
+	return s, nil
+}
+
+func recsFromJournal(ev *Evaluator, journal []resRecord) []map[traffic.PairKey]*resRecord {
+	recs := make([]map[traffic.PairKey]*resRecord, len(ev.prep.Groups))
+	for g := range recs {
+		recs[g] = make(map[traffic.PairKey]*resRecord)
+	}
+	for i := range journal {
+		r := journal[i]
+		recs[r.group][r.key] = &r
+	}
+	return recs
+}
+
+// Stats returns the statistics of the current committed configuration.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Placement returns copies of the current committed placement.
+func (s *Session) Placement() (coreSwitch, coreNI []int) {
+	return append([]int(nil), s.cs...), append([]int(nil), s.cn...)
+}
+
+// TryMove evaluates the placement (coreSwitch, coreNI), which must differ
+// from the session's current placement only at the listed moved cores. On
+// success the move is pending — commit with Keep or roll back with Undo —
+// and the returned Stats describe the new configuration. On error the
+// session is unchanged and no move is pending.
+func (s *Session) TryMove(coreSwitch, coreNI []int, moved ...int) (Stats, error) {
+	if s.pending != nil {
+		return Stats{}, fmt.Errorf("core: session has a pending move (Keep or Undo it first)")
+	}
+	if err := s.ev.ValidatePlacement(coreSwitch, coreNI); err != nil {
+		return Stats{}, err
+	}
+	movedSet := make(map[int]bool, len(moved))
+	for _, c := range moved {
+		if c < 0 || c >= s.ev.numCores {
+			return Stats{}, fmt.Errorf("core: moved core %d out of range", c)
+		}
+		movedSet[c] = true
+	}
+	for c := 0; c < s.ev.numCores; c++ {
+		if !movedSet[c] && (coreSwitch[c] != s.cs[c] || coreNI[c] != s.cn[c]) {
+			return Stats{}, fmt.Errorf("core: core %d changed seats but is not listed as moved", c)
+		}
+	}
+	if err := s.niCapacityCheck(coreNI, movedSet); err != nil {
+		return Stats{}, err
+	}
+	if err := s.switchCapacityCheck(coreSwitch, movedSet); err != nil {
+		return Stats{}, err
+	}
+
+	// Tear down every pair with a moved endpoint, in the deterministic
+	// global routing order.
+	numGroups := len(s.ev.prep.Groups)
+	pm := &pendingMove{
+		oldCS: s.cs, oldCN: s.cn,
+		oldByGroup: make([][]*resRecord, numGroups),
+		newByGroup: make([][]*resRecord, numGroups),
+	}
+	var affected []traffic.PairKey
+	for _, key := range s.ev.pairList {
+		if !movedSet[int(key.Src)] && !movedSet[int(key.Dst)] {
+			continue
+		}
+		affected = append(affected, key)
+		plan := s.ev.plans[key]
+		for _, g := range plan.groups {
+			r := s.recs[g][key]
+			if r == nil {
+				s.rollbackMove(pm)
+				return Stats{}, fmt.Errorf("core: internal: pair %d->%d missing from group %d", key.Src, key.Dst, g)
+			}
+			s.states[g].Release(r.owner, r.path, r.start)
+			delete(s.recs[g], key)
+			pm.oldByGroup[g] = append(pm.oldByGroup[g], r)
+		}
+	}
+	s.cs = append([]int(nil), coreSwitch...)
+	s.cn = append([]int(nil), coreNI...)
+
+	// Re-route group by group. The groups of a fixed placement are fully
+	// independent — each owns its slot tables — so a group whose delta
+	// re-route wedges falls back to a from-scratch re-route of that group
+	// alone (identical to its share of a full re-evaluation), and a group
+	// whose from-scratch pass fails proves the whole move infeasible
+	// without touching the remaining groups.
+	for g := 0; g < numGroups; g++ {
+		ok := true
+		for _, key := range affected {
+			plan := s.ev.plans[key]
+			gi := -1
+			for i, pg := range plan.groups {
+				if pg == g {
+					gi = i
+					break
+				}
+			}
+			if gi < 0 {
+				continue // this group does not communicate over the pair
+			}
+			path, starts, _, err := s.ev.reserveSlots(s.states[g], s.nextOwner, key,
+				s.cs[key.Src], s.cs[key.Dst], s.niEgress(s.cn[key.Src]), s.niIngress(s.cn[key.Dst]),
+				plan.bw[gi], plan.lat[gi])
+			if err != nil {
+				ok = false
+				break
+			}
+			r := &resRecord{group: g, owner: s.nextOwner, path: path, start: starts, key: key}
+			s.nextOwner++
+			s.recs[g][key] = r
+			pm.newByGroup[g] = append(pm.newByGroup[g], r)
+		}
+		if ok {
+			continue
+		}
+		if err := s.rebuildGroup(g, pm); err != nil {
+			s.rollbackMove(pm)
+			return Stats{}, fmt.Errorf("core: move infeasible: group %d: %w", g, err)
+		}
+	}
+	pm.stats = s.statsFromRecs()
+	s.pending = pm
+	return pm.stats, nil
+}
+
+// rebuildGroup re-routes every pair of group g from scratch in the global
+// order, after undoing the group's partial delta. On success the group
+// carries exactly the configuration a full re-evaluation of the placement
+// would grant it; on failure the group is restored to its pre-move
+// configuration and the error reports the wedging pair.
+func (s *Session) rebuildGroup(g int, pm *pendingMove) error {
+	for _, r := range pm.newByGroup[g] {
+		s.states[g].Release(r.owner, r.path, r.start)
+		delete(s.recs[g], r.key)
+	}
+	pm.newByGroup[g] = nil
+	// The pre-move record set: the current (untouched) records plus the
+	// ones the teardown released.
+	oldMap := s.recs[g]
+	for _, r := range pm.oldByGroup[g] {
+		oldMap[r.key] = r
+	}
+	pm.oldByGroup[g] = nil
+	if pm.rebuilt == nil {
+		pm.rebuilt = make(map[int]map[traffic.PairKey]*resRecord)
+	}
+	pm.rebuilt[g] = oldMap
+
+	s.states[g].Reset()
+	s.recs[g] = make(map[traffic.PairKey]*resRecord, len(s.ev.groupPairs[g]))
+	for _, pd := range s.ev.groupPairs[g] {
+		key := pd.key
+		path, starts, _, err := s.ev.reserveSlots(s.states[g], s.nextOwner, key,
+			s.cs[key.Src], s.cs[key.Dst], s.niEgress(s.cn[key.Src]), s.niIngress(s.cn[key.Dst]),
+			pd.bw, pd.lat)
+		if err != nil {
+			s.restoreGroup(g, oldMap)
+			delete(pm.rebuilt, g)
+			return fmt.Errorf("flow %d->%d: %w", key.Src, key.Dst, err)
+		}
+		s.recs[g][key] = &resRecord{group: g, owner: s.nextOwner, path: path, start: starts, key: key}
+		s.nextOwner++
+	}
+	return nil
+}
+
+// restoreGroup resets group g's state and replays a complete record set.
+func (s *Session) restoreGroup(g int, recs map[traffic.PairKey]*resRecord) {
+	s.states[g].Reset()
+	for _, r := range recs {
+		if err := s.states[g].Reserve(r.owner, r.path, r.start); err != nil {
+			// The set was simultaneously live before; replay cannot conflict.
+			panic(fmt.Sprintf("core: internal: group restore failed: %v", err))
+		}
+	}
+	s.recs[g] = recs
+}
+
+// rollbackMove restores every group and the placement to the pre-move
+// configuration.
+func (s *Session) rollbackMove(pm *pendingMove) {
+	for g, oldMap := range pm.rebuilt {
+		s.restoreGroup(g, oldMap)
+	}
+	for g := range pm.newByGroup {
+		for i := len(pm.newByGroup[g]) - 1; i >= 0; i-- {
+			r := pm.newByGroup[g][i]
+			s.states[g].Release(r.owner, r.path, r.start)
+			delete(s.recs[g], r.key)
+		}
+		for _, r := range pm.oldByGroup[g] {
+			if err := s.states[g].Reserve(r.owner, r.path, r.start); err != nil {
+				panic(fmt.Sprintf("core: internal: session rollback failed: %v", err))
+			}
+			s.recs[g][r.key] = r
+		}
+	}
+	s.cs, s.cn = pm.oldCS, pm.oldCN
+}
+
+// niCapacityCheck rejects moves that are infeasible regardless of routing:
+// every pair a core sources (sinks) crosses its NI's egress (ingress) link,
+// and each pair needs at least its bandwidth-driven slot count there, so a
+// group's total demand on any NI link is bounded below by the sum of its
+// cores' demands. When a moved-to NI exceeds the slot table on that bound,
+// no re-route — incremental or from scratch — can succeed, and the
+// expensive fallback is skipped. The bound is exact-necessary, so no
+// feasible move is ever rejected here.
+func (s *Session) niCapacityCheck(coreNI []int, movedSet map[int]bool) error {
+	T := s.ev.p.SlotTableSize
+	checked := make(map[int]bool, len(movedSet))
+	for c := range movedSet {
+		ni := coreNI[c]
+		if ni < 0 || checked[ni] {
+			continue
+		}
+		checked[ni] = true
+		for g := range s.ev.prep.Groups {
+			sumOut, sumIn := 0, 0
+			for c2, n := range coreNI {
+				if n == ni {
+					sumOut += s.ev.remOutTpl[g][c2]
+					sumIn += s.ev.remInTpl[g][c2]
+				}
+			}
+			if sumOut > T || sumIn > T {
+				return fmt.Errorf("core: NI %d over capacity in group %d (%d egress / %d ingress slots of %d)",
+					ni, g, sumOut, sumIn, T)
+			}
+		}
+	}
+	return nil
+}
+
+// switchCapacityCheck extends the NI bound to the mesh side: every pair
+// between distinct switches must leave its source switch through one of its
+// outgoing mesh links and enter the destination switch through an incoming
+// one, so a group's cross-switch demand at a switch is bounded by its link
+// degree times the slot table. Only the switches whose core membership the
+// move changes are re-checked. Like the NI bound this is exact-necessary:
+// violating it proves the placement infeasible before any routing runs.
+func (s *Session) switchCapacityCheck(coreSwitch []int, movedSet map[int]bool) error {
+	T := s.ev.p.SlotTableSize
+	checked := make(map[int]bool, 2*len(movedSet))
+	for c := range movedSet {
+		for _, sw := range [2]int{coreSwitch[c], s.cs[c]} {
+			if sw < 0 || checked[sw] {
+				continue
+			}
+			checked[sw] = true
+			cap := s.ev.top.Degree(topology.SwitchID(sw)) * T
+			for g, pairs := range s.ev.groupPairs {
+				sumOut, sumIn := 0, 0
+				for _, pd := range pairs {
+					srcS, dstS := coreSwitch[pd.key.Src], coreSwitch[pd.key.Dst]
+					if srcS == sw && dstS != sw {
+						sumOut += pd.slots
+					}
+					if dstS == sw && srcS != sw {
+						sumIn += pd.slots
+					}
+				}
+				if sumOut > cap || sumIn > cap {
+					return fmt.Errorf("core: switch %d over mesh capacity in group %d (%d egress / %d ingress slots of %d)",
+						sw, g, sumOut, sumIn, cap)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Keep commits the pending move.
+func (s *Session) Keep() {
+	if s.pending == nil {
+		return
+	}
+	s.stats = s.pending.stats
+	s.pending = nil
+}
+
+// Undo rolls back the pending move, restoring the previous configuration
+// exactly.
+func (s *Session) Undo() {
+	pm := s.pending
+	if pm == nil {
+		return
+	}
+	s.pending = nil
+	s.rollbackMove(pm)
+}
+
+// Result materializes the current committed configuration as a complete
+// Result, equivalent in shape to an EvaluateFixed output. It must not be
+// called while a move is pending.
+func (s *Session) Result() *Result {
+	if s.pending != nil {
+		panic("core: Session.Result with a pending move")
+	}
+	mapping := &Mapping{
+		Topology:   s.ev.top,
+		Params:     s.ev.p,
+		Prep:       s.ev.prep,
+		CoreSwitch: append([]int(nil), s.cs...),
+		CoreNI:     append([]int(nil), s.cn...),
+	}
+	// One shared Assignment per (group, pair), mirroring the mapper.
+	asn := make([]map[traffic.PairKey]*Assignment, len(s.recs))
+	for g := range s.recs {
+		asn[g] = make(map[traffic.PairKey]*Assignment, len(s.recs[g]))
+		for key, r := range s.recs[g] {
+			asn[g][key] = &Assignment{Path: r.path, Starts: r.start, SlotCount: len(r.start)}
+		}
+	}
+	mapping.Configs = make([]*Config, len(s.ev.prep.UseCases))
+	for uc := range s.ev.prep.UseCases {
+		g := s.ev.prep.GroupOf[uc]
+		cfg := &Config{Assignments: make(map[traffic.PairKey]*Assignment, len(s.ev.ucPairs[uc]))}
+		for _, ps := range s.ev.ucPairs[uc] {
+			cfg.Assignments[ps.key] = asn[g][ps.key]
+		}
+		mapping.Configs[uc] = cfg
+	}
+	dim := topology.Dim{Rows: s.ev.top.Rows, Cols: s.ev.top.Cols}
+	return &Result{Mapping: mapping, Attempts: []Attempt{{Dim: dim}}, Stats: s.stats}
+}
+
+// statsFromRecs recomputes the summary statistics of the current
+// reservation set — the same quantities computeStats derives from a
+// finished Mapping, without materializing one.
+func (s *Session) statsFromRecs() Stats {
+	var st Stats
+	for _, state := range s.states {
+		for l := 0; l < state.NumLinks(); l++ {
+			if u := state.Utilization(l); u > st.MaxLinkUtil {
+				st.MaxLinkUtil = u
+			}
+		}
+	}
+	var bwHops, bwSum float64
+	for uc := range s.ev.prep.UseCases {
+		g := s.ev.prep.GroupOf[uc]
+		for _, ps := range s.ev.ucPairs[uc] {
+			r := s.recs[g][ps.key]
+			if r == nil {
+				continue
+			}
+			st.SlotsReserved += len(r.start) * len(r.path)
+			hops := 0
+			for _, l := range r.path {
+				if l < s.ev.meshLinks {
+					hops++
+				}
+			}
+			bwHops += ps.bw * float64(hops)
+			bwSum += ps.bw
+		}
+	}
+	if bwSum > 0 {
+		st.AvgMeshHops = bwHops / bwSum
+	}
+	return st
+}
+
+func (s *Session) niEgress(globalNI int) int  { return s.ev.meshLinks + 2*globalNI }
+func (s *Session) niIngress(globalNI int) int { return s.ev.meshLinks + 2*globalNI + 1 }

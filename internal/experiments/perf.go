@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/core"
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+)
+
+// PerfRow is one design of the evaluation-throughput figure: the cost of
+// scoring one annealing move through the legacy from-scratch path
+// (core.EvaluateFixed: re-validate, rebuild the flow list, reallocate
+// states, re-route everything) versus the incremental engine
+// (core.Session.TryMove: tear down and re-route only the moved flows).
+// Both paths score the identical candidate sequence from the identical
+// greedy starting placement.
+type PerfRow struct {
+	Design  string
+	Moves   int           // candidate moves scored by each path
+	Full    time.Duration // total wall-clock of the EvaluateFixed path
+	Delta   time.Duration // total wall-clock of the Session path
+	Speedup float64       // Full / Delta
+}
+
+// PerfDesigns returns the throughput suite: the D1-D4 SoC stand-ins.
+func PerfDesigns() ([]*traffic.Design, error) {
+	var out []*traffic.Design
+	for _, gen := range []func() (*traffic.Design, error){bench.D1, bench.D2, bench.D3, bench.D4} {
+		d, err := gen()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// PerfMove is one swap candidate: cores X and Y exchange seats.
+type PerfMove struct {
+	X, Y int
+}
+
+// PerfMoveSequence pre-generates a deterministic sequence of swap
+// candidates over the attached cores, so independent evaluation paths (the
+// perf figure's two timers, the BenchmarkAnnealMove pair) score the same
+// neighbours. It returns nil when no swap exists — fewer than two attached
+// cores, or every attached core seated on one NI — instead of drawing
+// forever.
+func PerfMoveSequence(seed int64, attached []int, coreNI []int, moves int) []PerfMove {
+	possible := false
+	for _, c := range attached {
+		if coreNI[c] != coreNI[attached[0]] {
+			possible = true
+			break
+		}
+	}
+	if !possible || moves <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []PerfMove
+	for len(out) < moves {
+		x := attached[rng.Intn(len(attached))]
+		y := attached[rng.Intn(len(attached))]
+		if x == y || coreNI[x] == coreNI[y] {
+			continue
+		}
+		out = append(out, PerfMove{x, y})
+	}
+	return out
+}
+
+// PerfComparison measures both evaluation paths on each design: greedy maps
+// the design, then `moves` seeded swap candidates of the greedy placement
+// are scored (a) by full re-configuration via core.EvaluateFixed and (b)
+// incrementally via one core.Session with TryMove/Undo, leaving the base
+// placement in force so every candidate is a neighbour of the same state.
+func PerfComparison(designs []*traffic.Design, moves int, seed int64) ([]PerfRow, error) {
+	p := Params()
+	var rows []PerfRow
+	for _, d := range designs {
+		prep, err := usecase.Prepare(d)
+		if err != nil {
+			return nil, err
+		}
+		base, err := core.Map(prep, d.NumCores(), p)
+		if err != nil {
+			return nil, fmt.Errorf("design %s: greedy base: %w", d.Name, err)
+		}
+		m := base.Mapping
+		var attached []int
+		for c, s := range m.CoreSwitch {
+			if s >= 0 {
+				attached = append(attached, c)
+			}
+		}
+		seq := PerfMoveSequence(seed, attached, m.CoreNI, moves)
+		if len(seq) == 0 {
+			continue // no swap neighbours exist on this design's placement
+		}
+		swap := func(mv PerfMove) (cs, cn []int) {
+			cs = append([]int(nil), m.CoreSwitch...)
+			cn = append([]int(nil), m.CoreNI...)
+			cs[mv.X], cs[mv.Y] = cs[mv.Y], cs[mv.X]
+			cn[mv.X], cn[mv.Y] = cn[mv.Y], cn[mv.X]
+			return cs, cn
+		}
+
+		t0 := time.Now()
+		for _, mv := range seq {
+			cs, cn := swap(mv)
+			_, _ = core.EvaluateFixed(prep, d.NumCores(), m.Topology, cs, cn, p)
+		}
+		full := time.Since(t0)
+
+		ev, err := core.NewEvaluator(prep, d.NumCores(), m.Topology, p)
+		if err != nil {
+			return nil, fmt.Errorf("design %s: evaluator: %w", d.Name, err)
+		}
+		sess, err := ev.SessionFrom(base)
+		if err != nil {
+			return nil, fmt.Errorf("design %s: session: %w", d.Name, err)
+		}
+		t0 = time.Now()
+		for _, mv := range seq {
+			cs, cn := swap(mv)
+			if _, err := sess.TryMove(cs, cn, mv.X, mv.Y); err == nil {
+				sess.Undo()
+			}
+		}
+		delta := time.Since(t0)
+
+		speedup := 0.0
+		if delta > 0 {
+			speedup = float64(full) / float64(delta)
+		}
+		rows = append(rows, PerfRow{Design: d.Name, Moves: len(seq), Full: full, Delta: delta, Speedup: speedup})
+	}
+	return rows, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/traffic"
+)
+
+// TestPerfComparisonShape keeps the CI cost low (one design, few moves)
+// while pinning the contract: both paths score the same number of moves,
+// timings are populated, and the incremental path is not slower than the
+// from-scratch path (the recorded BENCH figures show the real >=3x margin;
+// asserting it here would make the test hostage to CI noise).
+func TestPerfComparisonShape(t *testing.T) {
+	d1, err := bench.D1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := PerfComparison([]*traffic.Design{d1}, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Design != d1.Name || r.Moves != 40 {
+		t.Errorf("row mislabelled: %+v", r)
+	}
+	if r.Full <= 0 || r.Delta <= 0 {
+		t.Errorf("timings not populated: %+v", r)
+	}
+	if r.Speedup < 1 {
+		t.Errorf("incremental evaluation slower than from-scratch: speedup %.2f", r.Speedup)
+	}
+}
+
+// TestPerfMoveSequenceDeterministic: the candidate sequence is a pure
+// function of the seed, so recorded figures are reproducible.
+func TestPerfMoveSequenceDeterministic(t *testing.T) {
+	attached := []int{0, 1, 2, 3, 4}
+	coreNI := []int{0, 1, 2, 3, 4}
+	a := PerfMoveSequence(9, attached, coreNI, 25)
+	b := PerfMoveSequence(9, attached, coreNI, 25)
+	if len(a) != 25 || len(b) != 25 {
+		t.Fatalf("wrong lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPerfMoveSequenceNoSwapPossible: with every attached core on one NI
+// (or a non-positive move budget) the generator must return nil instead of
+// drawing candidates forever.
+func TestPerfMoveSequenceNoSwapPossible(t *testing.T) {
+	attached := []int{0, 1, 2}
+	oneNI := []int{5, 5, 5}
+	if seq := PerfMoveSequence(1, attached, oneNI, 10); seq != nil {
+		t.Errorf("single-NI placement yielded %d moves, want none", len(seq))
+	}
+	if seq := PerfMoveSequence(1, attached, []int{0, 1, 2}, 0); seq != nil {
+		t.Errorf("zero move budget yielded %d moves, want none", len(seq))
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"nocmap/internal/graph"
 	"nocmap/internal/tdma"
@@ -268,33 +269,86 @@ func dimDirs(n, a, b int, wrap bool) (steps int, dirs []int) {
 // most p.MaxCandidates paths are returned; infeasible (infinite-cost) paths
 // are dropped.
 func Candidates(top *topology.Topology, st *tdma.State, src, dst topology.SwitchID, neededSlots int, p CostParams) []Path {
-	max := p.MaxCandidates
-	if max <= 0 {
-		max = 8
+	max := maxCandidates(p)
+	return assemble(top, st, src, dst, neededSlots, p, MinimalPaths(top, src, dst, 2*max), max)
+}
+
+func maxCandidates(p CostParams) int {
+	if p.MaxCandidates <= 0 {
+		return 8
 	}
+	return p.MaxCandidates
+}
+
+// Table caches the state-independent half of candidate generation — the
+// minimal-path enumeration per (src, dst) switch pair — for one fixed
+// topology. An evaluation engine that scores thousands of placements on the
+// same fabric (core.Evaluator under the annealer) pays the staircase-path
+// recursion once per pair instead of once per flow per candidate placement.
+// The state-dependent half (the Dijkstra least-cost path and the residual
+// cost ordering) is still computed per query, so Table.Candidates returns
+// exactly what Candidates would for the same inputs. A Table is safe for
+// concurrent use; the portfolio's workers share one per topology.
+type Table struct {
+	top *topology.Topology
+	max int // candidate cap the cached enumeration was sized for
+
+	mu      sync.RWMutex
+	minimal map[pairIndex][]Path
+}
+
+type pairIndex struct{ src, dst topology.SwitchID }
+
+// NewTable creates an empty candidate-path table for the topology. The cost
+// params fix the candidate cap; queries must use the same MaxCandidates (the
+// evaluator owns both, so this holds by construction).
+func NewTable(top *topology.Topology, p CostParams) *Table {
+	return &Table{top: top, max: maxCandidates(p), minimal: make(map[pairIndex][]Path)}
+}
+
+// Candidates is Candidates computed against the cached minimal-path
+// enumeration. Results are identical to the package-level function.
+func (t *Table) Candidates(st *tdma.State, src, dst topology.SwitchID, neededSlots int, p CostParams) []Path {
+	key := pairIndex{src, dst}
+	t.mu.RLock()
+	minimal, ok := t.minimal[key]
+	t.mu.RUnlock()
+	if !ok {
+		minimal = MinimalPaths(t.top, src, dst, 2*t.max)
+		t.mu.Lock()
+		t.minimal[key] = minimal
+		t.mu.Unlock()
+	}
+	return assemble(t.top, st, src, dst, neededSlots, p, minimal, t.max)
+}
+
+// assemble scores, deduplicates, orders and trims the candidate set from the
+// Dijkstra least-cost path plus the supplied minimal paths. The minimal
+// enumeration never repeats a path, so the only possible duplicate is the
+// least-cost path reappearing among the minimals — one slice comparison per
+// minimal, no keying allocation on this very hot call.
+func assemble(top *topology.Topology, st *tdma.State, src, dst topology.SwitchID, neededSlots int, p CostParams, minimal []Path, max int) []Path {
 	type scored struct {
 		path Path
 		cost float64
 	}
-	var cands []scored
-	seen := make(map[string]bool)
-	add := func(path Path) {
-		key := pathKey(path)
-		if seen[key] {
-			return
+	cands := make([]scored, 0, len(minimal)+1)
+	var lc Path
+	if path, _, err := LeastCost(top, st, src, dst, neededSlots, p); err == nil {
+		if c := PathCost(st, path, neededSlots, p); !math.IsInf(c, 1) {
+			lc = path
+			cands = append(cands, scored{path, c})
 		}
-		seen[key] = true
-		c := PathCost(st, path, neededSlots, p)
+	}
+	for _, m := range minimal {
+		if lc != nil && pathEqual(m, lc) {
+			continue
+		}
+		c := PathCost(st, m, neededSlots, p)
 		if math.IsInf(c, 1) {
-			return
+			continue
 		}
-		cands = append(cands, scored{path, c})
-	}
-	if lc, _, err := LeastCost(top, st, src, dst, neededSlots, p); err == nil {
-		add(lc)
-	}
-	for _, m := range MinimalPaths(top, src, dst, 2*max) {
-		add(m)
+		cands = append(cands, scored{m, c})
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].cost < cands[j].cost })
 	if len(cands) > max {
@@ -307,12 +361,26 @@ func Candidates(top *topology.Topology, st *tdma.State, src, dst topology.Switch
 	return out
 }
 
+// pathKey is a comparable encoding of a path (used by tests to assert
+// candidate-set equality).
 func pathKey(p Path) string {
 	b := make([]byte, 0, 4*len(p))
 	for _, l := range p {
 		b = append(b, byte(l), byte(l>>8), byte(l>>16), byte(l>>24))
 	}
 	return string(b)
+}
+
+func pathEqual(a, b Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Turn describes a change of direction at a switch.

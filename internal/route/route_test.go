@@ -401,3 +401,79 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// TestTableMatchesCandidates: the cached table must return exactly what the
+// package-level Candidates returns, on fresh and on loaded states, across
+// mesh, torus and repeated queries (cache hits).
+func TestTableMatchesCandidates(t *testing.T) {
+	tops := []*topology.Topology{}
+	if m, err := topology.NewMesh(3, 4, 1); err == nil {
+		tops = append(tops, m)
+	}
+	if tor, err := topology.NewTorus(3, 3, 1); err == nil {
+		tops = append(tops, tor)
+	}
+	p := DefaultCostParams()
+	for _, top := range tops {
+		st, err := tdma.NewState(top.NumLinks(), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := NewTable(top, p)
+		// Load a few links so the residual-cost ordering differs from hops.
+		if err := st.Reserve(1, []int{0, 1}, []int{0, 2, 4}); err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ { // second round exercises the cache hit
+			for src := 0; src < top.NumSwitches(); src++ {
+				for dst := 0; dst < top.NumSwitches(); dst++ {
+					if src == dst {
+						continue
+					}
+					want := Candidates(top, st, topology.SwitchID(src), topology.SwitchID(dst), 2, p)
+					got := tab.Candidates(st, topology.SwitchID(src), topology.SwitchID(dst), 2, p)
+					if len(got) != len(want) {
+						t.Fatalf("%s %d->%d: table returned %d candidates, want %d", top, src, dst, len(got), len(want))
+					}
+					for i := range got {
+						if pathKey(got[i]) != pathKey(want[i]) {
+							t.Fatalf("%s %d->%d: candidate %d differs: %v vs %v", top, src, dst, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableConcurrent hammers one table from many goroutines; run under
+// -race this pins the locking of the lazy fill.
+func TestTableConcurrent(t *testing.T) {
+	top, err := topology.NewMesh(4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultCostParams()
+	tab := NewTable(top, p)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed int) {
+			defer func() { done <- struct{}{} }()
+			st, _ := tdma.NewState(top.NumLinks(), 8)
+			for i := 0; i < 50; i++ {
+				src := topology.SwitchID((seed + i) % top.NumSwitches())
+				dst := topology.SwitchID((seed*3 + i*7) % top.NumSwitches())
+				if src == dst {
+					continue
+				}
+				if got := tab.Candidates(st, src, dst, 1, p); len(got) == 0 {
+					t.Errorf("no candidates %d->%d on empty state", src, dst)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

@@ -12,14 +12,17 @@ import (
 )
 
 // Anneal is simulated annealing over core placements. It starts from the
-// greedy mapping, explores swap and relocate moves on the placement, and
-// scores every candidate by re-running the full configuration phase (path
-// selection plus TDMA slot reservation, core.EvaluateFixed) — so an accepted
-// move is always a complete, feasible multi-use-case configuration. Beyond
-// refining the greedy mesh, it probes smaller meshes the greedy constructive
-// order could not fill, using seeded random restarts to find a feasible
-// starting placement there. By construction the engine never returns a
-// result worse than greedy's under the configured cost weights.
+// greedy mapping and explores swap and relocate moves on the placement
+// through a core.Session: a move tears down and re-reserves only the flows
+// whose endpoints changed seats (falling back to a full configuration pass
+// when the incremental order wedges), so every accepted candidate is still
+// a complete, feasible multi-use-case configuration — at a fraction of the
+// re-validate-and-re-configure cost the per-move core.EvaluateFixed calls
+// used to pay. Beyond refining the greedy mesh, it probes smaller meshes
+// the greedy constructive order could not fill, using seeded random
+// restarts to find a feasible starting placement there. By construction the
+// engine never returns a result worse than greedy's under the configured
+// cost weights.
 type Anneal struct{}
 
 // Name implements Engine.
@@ -51,10 +54,15 @@ func (Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
 		defer cancel()
 	}
+	evals := opts.evals
+	if evals == nil {
+		evals = newEvalCache(prep, numCores, p)
+	}
 	a := &annealer{
 		prep: prep, numCores: numCores, p: p, opts: opts,
 		rng:  rand.New(rand.NewSource(opts.Seed)),
 		best: base, bestCost: opts.Weights.Of(base),
+		evals: evals,
 	}
 	a.run(ctx, base)
 	return a.best, nil
@@ -68,6 +76,7 @@ type annealer struct {
 	p        core.Params
 	opts     Options
 	rng      *rand.Rand
+	evals    *evalCache
 
 	best     *core.Result
 	bestCost float64
@@ -121,18 +130,28 @@ func (a *annealer) shrinkDims(base *core.Result, attached int) []topology.Dim {
 
 // feasibleStart tries Options.Restarts seeded random placements on the
 // given size of the configured topology family and returns the first that
-// configures feasibly, or nil.
+// configures feasibly, or nil. The probed size is rejected up front when it
+// seats fewer cores than are attached — a shrunk dim must never panic, just
+// fail to produce a start.
 func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached []int) *core.Result {
 	top, err := a.p.Topology.ForDim(dim, a.p.CoresPerSwitch())
 	if err != nil {
 		return nil
 	}
+	ev, err := a.evals.For(top)
+	if err != nil {
+		return nil
+	}
+	top = ev.Topology() // the cache's canonical instance for this shape
 	numNIs := top.NumSwitches() * a.p.NIsPerSwitch
 	seats := make([]int, 0, numNIs*a.p.CoresPerNI)
 	for ni := 0; ni < numNIs; ni++ {
 		for k := 0; k < a.p.CoresPerNI; k++ {
 			seats = append(seats, ni)
 		}
+	}
+	if len(attached) > len(seats) {
+		return nil // not enough seats: the probe cannot host every core
 	}
 	for r := 0; r < a.opts.Restarts; r++ {
 		if ctx.Err() != nil {
@@ -148,7 +167,7 @@ func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached
 			cn[c] = seats[i]
 			cs[c] = seats[i] / a.p.NIsPerSwitch
 		}
-		res, err := core.EvaluateFixed(a.prep, a.numCores, top, cs, cn, a.p)
+		res, err := ev.Evaluate(cs, cn)
 		if err == nil {
 			return res
 		}
@@ -158,16 +177,30 @@ func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached
 
 // annealFrom runs one simulated-annealing chain starting at the given
 // feasible result, with a geometric temperature schedule and Metropolis
-// acceptance. Moves permute the placement; every candidate is re-configured
-// from scratch, and an infeasible candidate goes through one repair attempt
-// before being rejected.
+// acceptance. Moves permute the placement and are scored through a
+// core.Session — incremental teardown and re-reservation of the moved
+// flows only — with one repair attempt (relocating a disturbed core to the
+// emptiest NI) before a candidate is rejected.
 func (a *annealer) annealFrom(ctx context.Context, start *core.Result) {
 	attached := attachedCores(start.Mapping.CoreSwitch)
 	if len(attached) < 2 || a.opts.Iters == 0 {
 		return
 	}
-	cur := start
-	curCost := a.opts.Weights.Of(cur)
+	ev, err := a.evals.For(start.Mapping.Topology)
+	if err != nil {
+		return
+	}
+	// Adopt the start's reservations instead of re-evaluating its placement:
+	// constructive results are not always reproducible under fixed-placement
+	// routing order, and the chain must start from the configuration the
+	// incumbent actually scored.
+	sess, err := ev.SessionFrom(start)
+	if err != nil {
+		return
+	}
+	switches := ev.Topology().NumSwitches()
+	numNIs := switches * a.p.NIsPerSwitch
+	curCost := a.opts.Weights.OfParts(switches, sess.Stats())
 	// Initial temperature accepts ~5%-of-cost uphill moves; cool to 1/1000 of
 	// that over the run.
 	t0 := 0.05*curCost + 1e-9
@@ -177,37 +210,41 @@ func (a *annealer) annealFrom(ctx context.Context, start *core.Result) {
 		if ctx.Err() != nil {
 			return
 		}
-		cand := a.propose(cur, attached)
-		if cand == nil {
+		stats, ok := a.propose(sess, numNIs, attached)
+		if !ok {
 			temp *= alpha
 			continue
 		}
-		candCost := a.opts.Weights.Of(cand)
+		candCost := a.opts.Weights.OfParts(switches, stats)
 		delta := candCost - curCost
 		if delta <= 0 || a.rng.Float64() < math.Exp(-delta/temp) {
-			cur, curCost = cand, candCost
-			a.consider(cand)
+			sess.Keep()
+			curCost = candCost
+			if candCost < a.bestCost-1e-12 {
+				a.consider(sess.Result())
+			}
+		} else {
+			sess.Undo()
 		}
 		temp *= alpha
 	}
 }
 
 // propose generates one neighbouring placement (swap of two cores' seats, or
-// relocation of one core to a free seat) and evaluates it. When the
-// configuration phase rejects the candidate — some use-case's flows no
-// longer route or fit their slot tables — repair relocates one moved core to
-// the emptiest NI and retries once. Returns nil when no feasible neighbour
-// was found.
-func (a *annealer) propose(cur *core.Result, attached []int) *core.Result {
-	m := cur.Mapping
-	cs := append([]int(nil), m.CoreSwitch...)
-	cn := append([]int(nil), m.CoreNI...)
-	niLoad := niOccupancy(cn, m.Topology.NumSwitches()*a.p.NIsPerSwitch)
+// relocation of one core to a free seat) and evaluates it incrementally on
+// the session. When the configuration phase rejects the candidate — some
+// use-case's flows no longer route or fit their slot tables — repair
+// relocates one moved core to the emptiest NI and retries once. On success
+// the move is left pending on the session (caller decides Keep/Undo);
+// returns ok=false when no feasible neighbour was found.
+func (a *annealer) propose(sess *core.Session, numNIs int, attached []int) (core.Stats, bool) {
+	cs, cn := sess.Placement()
+	niLoad := niOccupancy(cn, numNIs)
 
 	var moved [2]int
 	// forbidden marks the repaired core's original NI on relocate moves:
 	// repairing back to it would reproduce the current placement and waste a
-	// full configuration pass on a no-op. After a swap the other core stays
+	// configuration pass on a no-op. After a swap the other core stays
 	// moved, so any repair target yields a genuine neighbour.
 	forbidden := -1
 	if a.rng.Float64() < 0.7 {
@@ -215,7 +252,7 @@ func (a *annealer) propose(cur *core.Result, attached []int) *core.Result {
 		x := attached[a.rng.Intn(len(attached))]
 		y := attached[a.rng.Intn(len(attached))]
 		if x == y || cn[x] == cn[y] {
-			return nil
+			return core.Stats{}, false
 		}
 		cs[x], cs[y] = cs[y], cs[x]
 		cn[x], cn[y] = cn[y], cn[x]
@@ -225,7 +262,7 @@ func (a *annealer) propose(cur *core.Result, attached []int) *core.Result {
 		x := attached[a.rng.Intn(len(attached))]
 		free := freeNIs(niLoad, cn[x], a.p.CoresPerNI)
 		if len(free) == 0 {
-			return nil
+			return core.Stats{}, false
 		}
 		ni := free[a.rng.Intn(len(free))]
 		niLoad[cn[x]]--
@@ -235,26 +272,26 @@ func (a *annealer) propose(cur *core.Result, attached []int) *core.Result {
 		cs[x] = ni / a.p.NIsPerSwitch
 		moved = [2]int{x, x}
 	}
-	res, err := core.EvaluateFixed(a.prep, a.numCores, m.Topology, cs, cn, a.p)
+	stats, err := sess.TryMove(cs, cn, moved[0], moved[1])
 	if err == nil {
-		return res
+		return stats, true
 	}
 	// Repair: move one of the disturbed cores to the least-loaded NI and give
 	// the configuration one more chance.
 	x := moved[a.rng.Intn(2)]
 	ni := emptiestNI(niLoad, cn[x], forbidden, a.p.CoresPerNI)
 	if ni < 0 {
-		return nil
+		return core.Stats{}, false
 	}
 	niLoad[cn[x]]--
 	niLoad[ni]++
 	cn[x] = ni
 	cs[x] = ni / a.p.NIsPerSwitch
-	res, err = core.EvaluateFixed(a.prep, a.numCores, m.Topology, cs, cn, a.p)
+	stats, err = sess.TryMove(cs, cn, moved[0], moved[1])
 	if err != nil {
-		return nil
+		return core.Stats{}, false
 	}
-	return res
+	return stats, true
 }
 
 // consider updates the incumbent when the candidate scores strictly better.

@@ -68,6 +68,11 @@ type Options struct {
 	// from instead of running core.Map itself. The portfolio uses it to run
 	// the deterministic greedy pass once for all members.
 	base *core.Result
+	// evals, when set, is a shared per-topology evaluator cache. The
+	// portfolio hands one cache to all its annealers so the per-topology
+	// precomputation (validation, flow templates, candidate-path tables)
+	// happens once across the whole pool.
+	evals *evalCache
 }
 
 // DefaultOptions returns the evaluation defaults: a modest annealing length
@@ -118,9 +123,17 @@ func DefaultCostWeights() CostWeights {
 
 // Of scores a result; lower is better.
 func (w CostWeights) Of(r *core.Result) float64 {
-	return w.SwitchCount*float64(r.Mapping.SwitchCount()) +
-		w.MeanHops*r.Stats.AvgMeshHops +
-		w.MaxUtil*r.Stats.MaxLinkUtil
+	return w.OfParts(r.Mapping.SwitchCount(), r.Stats)
+}
+
+// OfParts scores a candidate from its switch count and statistics alone.
+// The annealer's incremental evaluation produces Stats without
+// materializing a Result, so the move loop scores candidates through this
+// form.
+func (w CostWeights) OfParts(switches int, s core.Stats) float64 {
+	return w.SwitchCount*float64(switches) +
+		w.MeanHops*s.AvgMeshHops +
+		w.MaxUtil*s.MaxLinkUtil
 }
 
 // engines is the registry; New resolves names against it. The mutex makes

@@ -1,0 +1,48 @@
+package search
+
+import (
+	"sync"
+
+	"nocmap/internal/core"
+	"nocmap/internal/topology"
+	"nocmap/internal/usecase"
+)
+
+// evalCache shares one core.Evaluator per topology across a search. A
+// single annealer reuses the evaluator between its move chain and its
+// shrink probes on the same fabric; the portfolio shares one cache across
+// every member, so N annealers probing the same smaller mesh build its
+// validation, flow templates and candidate-path tables once. Evaluators are
+// safe for concurrent use, so handing one to multiple workers is sound.
+type evalCache struct {
+	prep     *usecase.Prepared
+	numCores int
+	p        core.Params
+
+	mu sync.Mutex
+	m  map[string]*core.Evaluator
+}
+
+func newEvalCache(prep *usecase.Prepared, numCores int, p core.Params) *evalCache {
+	return &evalCache{prep: prep, numCores: numCores, p: p, m: make(map[string]*core.Evaluator)}
+}
+
+// For returns the cached evaluator for the topology, constructing it on
+// first use. Topologies are keyed by their description (family plus
+// dimensions, or the custom fabric's name), so shape-equal instances built
+// by different workers share one evaluator; callers must use the returned
+// evaluator's Topology() rather than their own instance.
+func (c *evalCache) For(top *topology.Topology) (*core.Evaluator, error) {
+	key := top.String()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ev, ok := c.m[key]; ok {
+		return ev, nil
+	}
+	ev, err := core.NewEvaluator(c.prep, c.numCores, top, c.p)
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = ev
+	return ev, nil
+}

@@ -54,24 +54,25 @@ func (Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores in
 	}
 
 	// The member annealers run without their own budget (the shared context
-	// carries it) and with derived seeds.
+	// carries it), with derived seeds, and against one shared evaluator
+	// cache: the per-topology precomputation (validation, flow templates,
+	// candidate-path tables) is paid once for the whole pool instead of
+	// once per member.
+	evals := newEvalCache(prep, numCores, p)
 	var jobs []job
 	for i := 0; i < opts.Seeds; i++ {
 		o := opts
 		o.Budget = 0
 		o.Seed = opts.Seed + int64(i)*7919 // distinct deterministic streams
 		o.base = base
+		o.evals = evals
 		jobs = append(jobs, job{order: i + 1, engine: Anneal{}, opts: o})
 	}
 
+	// Zero and over-large Workers values clamp to one goroutine per job.
 	workers := opts.Workers
 	if workers <= 0 || workers > len(jobs) {
 		workers = len(jobs)
-	}
-	type outcome struct {
-		order int
-		res   *core.Result
-		err   error
 	}
 	results := make([]outcome, len(jobs))
 	queue := make(chan int)
@@ -93,15 +94,31 @@ func (Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores in
 	close(queue)
 	wg.Wait()
 
-	best, bestCost, bestOrder := base, opts.Weights.Of(base), 0
+	return pickBest(base, results, opts.Weights), nil
+}
+
+// outcome is one member's finished run, tagged with its deterministic order
+// (0 is reserved for the greedy base).
+type outcome struct {
+	order int
+	res   *core.Result
+	err   error
+}
+
+// pickBest selects the portfolio winner: the lowest-cost feasible result,
+// with ties (within the float tolerance) breaking toward the greedy base
+// and then the lowest-numbered annealer — so a fixed base seed yields one
+// outcome regardless of goroutine scheduling.
+func pickBest(base *core.Result, results []outcome, w CostWeights) *core.Result {
+	best, bestCost, bestOrder := base, w.Of(base), 0
 	for _, o := range results {
-		if o.err != nil {
+		if o.err != nil || o.res == nil {
 			continue // the greedy base already guarantees a feasible result
 		}
-		c := opts.Weights.Of(o.res)
+		c := w.Of(o.res)
 		if c < bestCost-1e-12 || (c < bestCost+1e-12 && o.order < bestOrder) {
 			best, bestCost, bestOrder = o.res, c, o.order
 		}
 	}
-	return best, nil
+	return best
 }

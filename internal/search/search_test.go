@@ -2,6 +2,7 @@ package search
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -265,5 +266,130 @@ func TestEnginesExploreTorus(t *testing.T) {
 		if res.Mapping.Topology.Kind != topology.KindCustom || res.Mapping.SwitchCount() != 4 {
 			t.Errorf("%s: solved on %s, want the 4-switch ring", name, res.Mapping.Topology)
 		}
+	}
+}
+
+// TestFeasibleStartShrinkProbeTooSmall is the regression test for the
+// seats-index panic: probing a dim with fewer NI seats than attached cores
+// must return nil instead of panicking on seats[i].
+func TestFeasibleStartShrinkProbeTooSmall(t *testing.T) {
+	prep, n := fig5(t)
+	p := core.DefaultParams()
+	p.NIsPerSwitch = 1
+	p.CoresPerNI = 1 // a 1x1 mesh seats exactly one core
+	opts := DefaultOptions()
+	opts.Restarts = 2
+	a := &annealer{
+		prep: prep, numCores: n, p: p, opts: opts,
+		rng:   rand.New(rand.NewSource(1)),
+		evals: newEvalCache(prep, n, p),
+	}
+	attached := []int{0, 1, 2, 3} // four cores, one seat
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("feasibleStart panicked on a too-small probe: %v", r)
+		}
+	}()
+	if res := a.feasibleStart(context.Background(), topology.Dim{Rows: 1, Cols: 1}, attached); res != nil {
+		t.Fatalf("feasibleStart produced a start on a 1-seat mesh for 4 cores: %v", res.Mapping.Topology)
+	}
+}
+
+// fakeResult builds a result with a given switch count and stats for
+// exercising the portfolio's winner selection without running engines.
+func fakeResult(t *testing.T, switches int, hops float64) *core.Result {
+	t.Helper()
+	top, err := topology.NewMesh(1, switches, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Result{
+		Mapping: &core.Mapping{Topology: top},
+		Stats:   core.Stats{AvgMeshHops: hops},
+	}
+}
+
+// TestPortfolioPickBestTieBreaks pins the documented determinism contract:
+// ties break toward the greedy base (order 0), then toward the
+// lowest-numbered annealer; errors and nil results are skipped.
+func TestPortfolioPickBestTieBreaks(t *testing.T) {
+	w := DefaultCostWeights()
+	base := fakeResult(t, 4, 2.0)
+
+	// All members tie with the base: the base must win.
+	tied := []outcome{
+		{order: 2, res: fakeResult(t, 4, 2.0)},
+		{order: 1, res: fakeResult(t, 4, 2.0)},
+	}
+	if got := pickBest(base, tied, w); got != base {
+		t.Error("tie with the base did not resolve to the greedy base")
+	}
+
+	// Two members strictly better and tied with each other: lowest order wins.
+	b1, b2 := fakeResult(t, 3, 2.0), fakeResult(t, 3, 2.0)
+	better := []outcome{
+		{order: 3, res: b2},
+		{order: 1, res: b1},
+	}
+	if got := pickBest(base, better, w); got != b1 {
+		t.Error("tie between annealers did not resolve to the lowest order")
+	}
+
+	// A strictly better result beats a lower-ordered worse one.
+	best := fakeResult(t, 2, 5.0)
+	mixed := []outcome{
+		{order: 1, res: fakeResult(t, 3, 1.0)},
+		{order: 4, res: best},
+	}
+	if got := pickBest(base, mixed, w); got != best {
+		t.Error("lowest cost did not win over lower order")
+	}
+
+	// Errors and nil results never dethrone the base.
+	failed := []outcome{
+		{order: 1, err: context.Canceled},
+		{order: 2, res: nil},
+	}
+	if got := pickBest(base, failed, w); got != base {
+		t.Error("failed members displaced the greedy base")
+	}
+}
+
+// TestPortfolioWorkersClamped: zero and absurdly large Workers values are
+// clamped to the job count — the search terminates and, with a fixed seed,
+// produces the same result regardless of the pool shape.
+func TestPortfolioWorkersClamped(t *testing.T) {
+	prep, n := fig5(t)
+	p := core.DefaultParams()
+	var ref *core.Result
+	for _, workers := range []int{0, 1, 1000} {
+		opts := DefaultOptions()
+		opts.Seeds = 3
+		opts.Workers = workers
+		res, err := Portfolio{}.Search(context.Background(), prep, n, p, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.Stats != ref.Stats || res.Mapping.SwitchCount() != ref.Mapping.SwitchCount() {
+			t.Errorf("workers=%d diverged: %+v vs %+v", workers, res.Stats, ref.Stats)
+		}
+	}
+	// Seeds=0 degenerates to the pure greedy result without deadlocking.
+	opts := DefaultOptions()
+	opts.Seeds = 0
+	res, err := Portfolio{}.Search(context.Background(), prep, n, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := core.Map(prep, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats != greedy.Stats {
+		t.Errorf("seeds=0 portfolio returned %+v, want the greedy result %+v", res.Stats, greedy.Stats)
 	}
 }

@@ -19,6 +19,7 @@ package tdma
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 )
 
@@ -32,6 +33,33 @@ type State struct {
 	numLinks int
 	slots    int
 	tables   []int32 // numLinks * slots, row-major; Free or owner token
+	free     []int   // per-link free-slot count, kept in sync by Reserve/Release
+	// masks holds one free-slot bitmask per link when the table fits a
+	// machine word (slots <= 64, which covers every configuration the
+	// evaluation uses): bit s is set iff slot s is free. Alignment queries
+	// — "is start st free on every link of the path with the
+	// contention-free shift applied" — then collapse to one rotate-and-AND
+	// per link instead of a per-slot scan. Nil for larger tables, where the
+	// scan fallback applies.
+	masks []uint64
+}
+
+// fullMask returns the all-free mask for a table of `slots` bits.
+func fullMask(slots int) uint64 {
+	if slots >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << slots) - 1
+}
+
+// rotR cyclically rotates a slots-bit mask right by h: bit i of the result
+// is bit (i+h) mod slots of m.
+func rotR(m uint64, h, slots int) uint64 {
+	h %= slots
+	if h == 0 {
+		return m
+	}
+	return ((m >> h) | (m << (slots - h))) & fullMask(slots)
 }
 
 // NewState creates tables of `slots` slots for numLinks links, all free.
@@ -42,18 +70,48 @@ func NewState(numLinks, slots int) (*State, error) {
 	if slots < 1 {
 		return nil, fmt.Errorf("tdma: slot table size %d invalid", slots)
 	}
-	s := &State{numLinks: numLinks, slots: slots, tables: make([]int32, numLinks*slots)}
+	s := &State{numLinks: numLinks, slots: slots,
+		tables: make([]int32, numLinks*slots), free: make([]int, numLinks)}
 	for i := range s.tables {
 		s.tables[i] = Free
+	}
+	for i := range s.free {
+		s.free[i] = slots
+	}
+	if slots <= 64 {
+		s.masks = make([]uint64, numLinks)
+		for i := range s.masks {
+			s.masks[i] = fullMask(slots)
+		}
 	}
 	return s, nil
 }
 
 // Clone returns an independent copy of the state.
 func (s *State) Clone() *State {
-	c := &State{numLinks: s.numLinks, slots: s.slots, tables: make([]int32, len(s.tables))}
+	c := &State{numLinks: s.numLinks, slots: s.slots,
+		tables: make([]int32, len(s.tables)), free: make([]int, len(s.free))}
 	copy(c.tables, s.tables)
+	copy(c.free, s.free)
+	if s.masks != nil {
+		c.masks = append([]uint64(nil), s.masks...)
+	}
 	return c
+}
+
+// Reset frees every slot of every link, returning the state to its
+// NewState condition without reallocating. Evaluation arenas (core.Evaluator)
+// reuse one State per group across many candidate placements this way.
+func (s *State) Reset() {
+	for i := range s.tables {
+		s.tables[i] = Free
+	}
+	for i := range s.free {
+		s.free[i] = s.slots
+	}
+	for i := range s.masks {
+		s.masks[i] = fullMask(s.slots)
+	}
 }
 
 // NumLinks reports how many links the state covers.
@@ -67,16 +125,12 @@ func (s *State) Owner(link, slot int) int32 {
 	return s.tables[link*s.slots+((slot%s.slots+s.slots)%s.slots)]
 }
 
-// FreeSlots counts the free slots of a link's table.
+// FreeSlots counts the free slots of a link's table. It is O(1): the count
+// is maintained incrementally by Reserve/Release, which keeps the per-link
+// cost query of path selection (route.LinkCost, evaluated once per arc per
+// Dijkstra relaxation) independent of the slot-table size.
 func (s *State) FreeSlots(link int) int {
-	n := 0
-	base := link * s.slots
-	for i := 0; i < s.slots; i++ {
-		if s.tables[base+i] == Free {
-			n++
-		}
-	}
-	return n
+	return s.free[link]
 }
 
 // Utilization returns the fraction of reserved slots on a link in [0,1].
@@ -95,6 +149,14 @@ func (s *State) StartFree(path []int, st int) bool {
 // startFree reports whether starting slot st is free along the whole path
 // under contention-free alignment: link path[h] must be free at (st+h) mod T.
 func (s *State) startFree(path []int, st int) bool {
+	if s.masks != nil {
+		for h, link := range path {
+			if s.masks[link]>>((st+h)%s.slots)&1 == 0 {
+				return false
+			}
+		}
+		return true
+	}
 	for h, link := range path {
 		if s.tables[link*s.slots+(st+h)%s.slots] != Free {
 			return false
@@ -103,11 +165,36 @@ func (s *State) startFree(path []int, st int) bool {
 	return true
 }
 
+// startMask intersects the free masks of the path's links with the
+// contention-free shift applied: bit st of the result is set iff starting
+// slot st is free along the whole path.
+func (s *State) startMask(path []int) uint64 {
+	acc := fullMask(s.slots)
+	for h, link := range path {
+		acc &= rotR(s.masks[link], h, s.slots)
+		if acc == 0 {
+			break
+		}
+	}
+	return acc
+}
+
 // AvailableStarts lists the starting slots (on the first link) from which a
 // flit could traverse the whole path without conflict.
 func (s *State) AvailableStarts(path []int) []int {
 	if len(path) == 0 {
 		return nil
+	}
+	if s.masks != nil {
+		acc := s.startMask(path)
+		if acc == 0 {
+			return nil
+		}
+		starts := make([]int, 0, bits.OnesCount64(acc))
+		for a := acc; a != 0; a &= a - 1 {
+			starts = append(starts, bits.TrailingZeros64(a))
+		}
+		return starts
 	}
 	var starts []int
 	for st := 0; st < s.slots; st++ {
@@ -126,31 +213,67 @@ func (s *State) FindAligned(path []int, n int) ([]int, bool) {
 	if n <= 0 || len(path) == 0 {
 		return nil, false
 	}
-	avail := s.AvailableStarts(path)
-	if len(avail) < n {
-		return nil, false
+	var avail []int
+	if s.masks != nil {
+		// The popcount decides feasibility before any slice exists — on
+		// loaded fabrics most alignment probes fail, and a failed probe is
+		// allocation-free.
+		acc := s.startMask(path)
+		count := bits.OnesCount64(acc)
+		if count < n {
+			return nil, false
+		}
+		avail = make([]int, 0, count)
+		for a := acc; a != 0; a &= a - 1 {
+			avail = append(avail, bits.TrailingZeros64(a))
+		}
+	} else {
+		avail = s.AvailableStarts(path)
+		if len(avail) < n {
+			return nil, false
+		}
 	}
 	if len(avail) == n {
 		return avail, true
 	}
 	// Greedy even spacing: for each ideal position i*T/n choose the nearest
-	// unused available slot (cyclically).
+	// unused available slot (cyclically). A word-sized bitmask tracks the
+	// chosen slots when the table fits one.
 	chosen := make([]int, 0, n)
-	used := make(map[int]bool, n)
-	for i := 0; i < n; i++ {
-		target := i * s.slots / n
-		best, bestDist := -1, s.slots+1
-		for _, a := range avail {
-			if used[a] {
-				continue
+	if s.slots <= 64 {
+		var used uint64
+		for i := 0; i < n; i++ {
+			target := i * s.slots / n
+			best, bestDist := -1, s.slots+1
+			for _, a := range avail {
+				if used>>a&1 == 1 {
+					continue
+				}
+				d := cyclicDist(a, target, s.slots)
+				if d < bestDist || (d == bestDist && a < best) {
+					best, bestDist = a, d
+				}
 			}
-			d := cyclicDist(a, target, s.slots)
-			if d < bestDist || (d == bestDist && a < best) {
-				best, bestDist = a, d
-			}
+			used |= uint64(1) << best
+			chosen = append(chosen, best)
 		}
-		used[best] = true
-		chosen = append(chosen, best)
+	} else {
+		used := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			target := i * s.slots / n
+			best, bestDist := -1, s.slots+1
+			for _, a := range avail {
+				if used[a] {
+					continue
+				}
+				d := cyclicDist(a, target, s.slots)
+				if d < bestDist || (d == bestDist && a < best) {
+					best, bestDist = a, d
+				}
+			}
+			used[best] = true
+			chosen = append(chosen, best)
+		}
 	}
 	sort.Ints(chosen)
 	return chosen, true
@@ -173,7 +296,15 @@ func (s *State) Reserve(owner int32, path []int, starts []int) error {
 	}
 	for _, st := range starts {
 		for h, link := range path {
-			s.tables[link*s.slots+(st+h)%s.slots] = owner
+			slot := (st + h) % s.slots
+			idx := link*s.slots + slot
+			if s.tables[idx] == Free {
+				s.tables[idx] = owner
+				s.free[link]--
+				if s.masks != nil {
+					s.masks[link] &^= uint64(1) << slot
+				}
+			}
 		}
 	}
 	return nil
@@ -188,9 +319,14 @@ func (s *State) Release(owner int32, path []int, starts []int) {
 			continue
 		}
 		for h, link := range path {
-			idx := link*s.slots + (st+h)%s.slots
+			slot := (st + h) % s.slots
+			idx := link*s.slots + slot
 			if s.tables[idx] == owner {
 				s.tables[idx] = Free
+				s.free[link]++
+				if s.masks != nil {
+					s.masks[link] |= uint64(1) << slot
+				}
 			}
 		}
 	}

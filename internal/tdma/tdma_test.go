@@ -330,3 +330,97 @@ func TestFindAlignedShapeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// countFree is the O(T) reference implementation of FreeSlots; the
+// incremental counter must agree with it after any Reserve/Release/Reset
+// sequence.
+func countFree(s *State, link int) int {
+	n := 0
+	for slot := 0; slot < s.Slots(); slot++ {
+		if s.Owner(link, slot) == Free {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFreeSlotsMatchesTableScan(t *testing.T) {
+	s, err := NewState(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []int{0, 1, 2}
+	starts, ok := s.FindAligned(path, 3)
+	if !ok {
+		t.Fatal("FindAligned failed on empty state")
+	}
+	if err := s.Reserve(7, path, starts); err != nil {
+		t.Fatal(err)
+	}
+	path2 := []int{1, 3}
+	starts2, ok := s.FindAligned(path2, 2)
+	if !ok {
+		t.Fatal("second FindAligned failed")
+	}
+	if err := s.Reserve(8, path2, starts2); err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < s.NumLinks(); l++ {
+		if got, want := s.FreeSlots(l), countFree(s, l); got != want {
+			t.Errorf("after reserve: FreeSlots(%d) = %d, table scan = %d", l, got, want)
+		}
+	}
+	s.Release(7, path, starts)
+	for l := 0; l < s.NumLinks(); l++ {
+		if got, want := s.FreeSlots(l), countFree(s, l); got != want {
+			t.Errorf("after release: FreeSlots(%d) = %d, table scan = %d", l, got, want)
+		}
+	}
+}
+
+func TestResetRestoresNewState(t *testing.T) {
+	s, err := NewState(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []int{0, 2}
+	starts, ok := s.FindAligned(path, 4)
+	if !ok {
+		t.Fatal("FindAligned failed")
+	}
+	if err := s.Reserve(1, path, starts); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	fresh, _ := NewState(3, 6)
+	for l := 0; l < s.NumLinks(); l++ {
+		if s.FreeSlots(l) != fresh.FreeSlots(l) {
+			t.Errorf("link %d: FreeSlots %d after Reset, want %d", l, s.FreeSlots(l), fresh.FreeSlots(l))
+		}
+		for slot := 0; slot < s.Slots(); slot++ {
+			if s.Owner(l, slot) != Free {
+				t.Errorf("link %d slot %d not free after Reset", l, slot)
+			}
+		}
+	}
+}
+
+func TestCloneCopiesFreeCounts(t *testing.T) {
+	s, _ := NewState(2, 4)
+	path := []int{0}
+	starts, _ := s.FindAligned(path, 2)
+	if err := s.Reserve(3, path, starts); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if c.FreeSlots(0) != s.FreeSlots(0) {
+		t.Fatalf("clone FreeSlots(0) = %d, want %d", c.FreeSlots(0), s.FreeSlots(0))
+	}
+	c.Release(3, path, starts)
+	if c.FreeSlots(0) != 4 {
+		t.Errorf("clone release: FreeSlots = %d, want 4", c.FreeSlots(0))
+	}
+	if s.FreeSlots(0) != 2 {
+		t.Errorf("original mutated by clone release: FreeSlots = %d, want 2", s.FreeSlots(0))
+	}
+}
