@@ -17,9 +17,7 @@ import (
 	"strings"
 	"time"
 
-	"nocmap/internal/bench"
 	"nocmap/internal/experiments"
-	"nocmap/internal/search"
 )
 
 var (
@@ -53,8 +51,8 @@ func main() {
 	}
 
 	run("6a", fig6a)
-	run("6b", func() error { return fig6bc(bench.Spread) })
-	run("6c", func() error { return fig6bc(bench.Bottleneck) })
+	run("6b", func() error { return fig6bc("Sp") })
+	run("6c", func() error { return fig6bc("Bot") })
 	run("7a", fig7a)
 	run("7b", fig7b)
 	run("7c", fig7c)
@@ -89,14 +87,14 @@ func fig6a() error {
 	return nil
 }
 
-func fig6bc(class bench.Class) error {
+func fig6bc(class string) error {
 	sweep := append(experiments.DefaultSweep(), 40)
-	cs, err := experiments.Fig6Synthetic(class, sweep)
+	cs, err := experiments.Fig6SyntheticNamed(class, sweep)
 	if err != nil {
 		return err
 	}
 	name := "6(b) Spread"
-	if class == bench.Bottleneck {
+	if class == "Bot" {
 		name = "6(c) Bottleneck"
 	}
 	printComparisons(fmt.Sprintf("Figure %s: normalized switch count vs use-cases", name), cs)
@@ -175,7 +173,7 @@ func engines() error {
 	if err != nil {
 		return err
 	}
-	opts := search.DefaultOptions()
+	opts := experiments.DefaultEngineOptions()
 	opts.Seed = *seed
 	opts.Seeds = *seeds
 	opts.Budget = *budget
@@ -216,8 +214,8 @@ func topologyFigure() error {
 		return err
 	}
 	printTopoRows("Topology comparison: smallest feasible mesh vs torus (1 core/switch)", rows)
-	for _, class := range []bench.Class{bench.Spread, bench.Bottleneck} {
-		rows, err := experiments.TopologySweep(class, experiments.DefaultSweep())
+	for _, class := range experiments.SyntheticClassNames() {
+		rows, err := experiments.TopologySweepNamed(class, experiments.DefaultSweep())
 		if err != nil {
 			return err
 		}

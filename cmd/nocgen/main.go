@@ -1,6 +1,6 @@
 // Command nocgen writes benchmark designs in the JSON interchange format:
 // the D1-D4 SoC stand-ins or synthetic Spread/Bottleneck designs from
-// Section 6.1 of the paper.
+// Section 6.1 of the paper, generated through the public SDK (pkg/noc).
 //
 // Usage:
 //
@@ -12,9 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
-	"nocmap/internal/bench"
-	"nocmap/internal/traffic"
+	"nocmap/pkg/noc"
 )
 
 func main() {
@@ -24,15 +24,13 @@ func main() {
 	seed := flag.Int64("seed", 7, "generator seed")
 	flag.Parse()
 
-	var d *traffic.Design
+	var d *noc.Design
 	var err error
 	switch {
 	case *design != "":
-		d, err = bench.ByName(*design)
-	case *class == "Sp":
-		d, err = bench.Synthetic(bench.SpreadSpec(*useCases, *seed))
-	case *class == "Bot":
-		d, err = bench.Synthetic(bench.BottleneckSpec(*useCases, *seed))
+		d, err = noc.Benchmark(*design)
+	case slices.Contains(noc.SyntheticClasses(), *class):
+		d, err = noc.Synthetic(*class, *useCases, *seed)
 	default:
 		fmt.Fprintln(os.Stderr, "nocgen: need -design D1..D4 or -class Sp|Bot")
 		os.Exit(2)

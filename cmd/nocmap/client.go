@@ -1,65 +1,40 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
-	"net/http"
-	"os"
-	"strings"
 	"time"
 
-	"nocmap/internal/service"
+	"nocmap/pkg/noc"
 )
 
-// runRemote delegates the mapping to a nocserved daemon: the design file is
-// embedded verbatim in a POST /map request and the returned summary is
+// runRemote delegates the mapping to a nocserved daemon through noc.Client:
+// the design travels in a POST /v1/map request and the returned summary is
 // printed in the same shape as a local run, plus the cache verdict. The
 // topology choice travels as the request's topology field (the server falls
-// back to the design's own tag when it is empty).
-func runRemote(stdout io.Writer, server, in, engine, topo string, seed int64, seeds int, budget time.Duration,
-	freq float64, slots, maxDim int, improve bool) error {
-	design, err := os.ReadFile(in)
-	if err != nil {
-		return fmt.Errorf("read design: %w", err)
-	}
-	mr := service.MapRequest{
-		Design:   json.RawMessage(design),
-		Engine:   engine,
-		Topology: topo,
-		Seed:     &seed,
-		Seeds:    &seeds,
-		FreqMHz:  &freq,
-		Slots:    &slots,
-		MaxDim:   &maxDim,
-		Improve:  improve,
-	}
-	if budget > 0 {
-		mr.Budget = budget.String()
-	}
-	body, err := json.Marshal(mr)
+// back to the design's own tag when it is empty). A non-zero timeout bounds
+// the whole call, so a hung server fails the CLI instead of stalling it.
+func runRemote(stdout, stderr io.Writer, server string, timeout time.Duration, in, engine, topo string,
+	seed int64, seeds int, budget time.Duration, freq float64, slots, maxDim int, improve bool) error {
+	d, err := noc.LoadDesignFile(in)
 	if err != nil {
 		return err
 	}
-	url := strings.TrimRight(server, "/") + "/map"
-	httpResp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	client := noc.NewClient(server, noc.WithTimeout(timeout))
+	resp, err := client.Map(context.Background(), d,
+		noc.WithEngine(engine),
+		noc.WithTopology(topo),
+		noc.WithSeed(seed),
+		noc.WithSeeds(seeds),
+		noc.WithBudget(budget),
+		noc.WithFrequencyMHz(freq),
+		noc.WithSlotTableSize(slots),
+		noc.WithMaxMeshDim(maxDim),
+		noc.WithImprove(improve),
+	)
 	if err != nil {
-		return fmt.Errorf("post %s: %w", url, err)
-	}
-	defer httpResp.Body.Close()
-	if httpResp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(httpResp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", e.Error, httpResp.StatusCode)
-		}
-		return fmt.Errorf("server: HTTP %d", httpResp.StatusCode)
-	}
-	var resp service.Response
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return fmt.Errorf("decode server response: %w", err)
+		return err
 	}
 
 	r := resp.Result
@@ -79,7 +54,7 @@ func runRemote(stdout io.Writer, server, in, engine, topo string, seed int64, se
 		r.MaxLinkUtil*100, r.AvgMeshHops, r.SlotsReserved)
 	if len(r.Violations) > 0 {
 		for _, v := range r.Violations {
-			fmt.Fprintln(os.Stderr, "verify:", v)
+			fmt.Fprintln(stderr, "verify:", v)
 		}
 		return fmt.Errorf("%d verification violations", len(r.Violations))
 	}

@@ -2,17 +2,18 @@
 // design given in the JSON interchange format and reports the resulting NoC:
 // topology, placement, per-use-case configurations, verification status,
 // area and power estimates. With -vhdl/-config/-placement it writes the
-// back-end artifacts.
+// back-end artifacts. It is a thin shell over the public SDK (pkg/noc).
 //
 // Usage:
 //
 //	nocmap -in design.json [-engine greedy|anneal|portfolio] [-seeds 4]
 //	       [-topology mesh|torus|@fabric.json] [-budget 30s] [-freq 500]
 //	       [-slots 64] [-vhdl noc.vhd] [-config prefix]
-//	       [-placement place.txt] [-improve]
+//	       [-placement place.txt] [-improve] [-progress]
 //
 // With -server URL the design is mapped by a running nocserved daemon
-// instead of in-process, so repeated invocations share its result cache.
+// instead of in-process, so repeated invocations share its result cache;
+// -timeout bounds how long an unresponsive daemon may stall the call.
 package main
 
 import (
@@ -23,17 +24,9 @@ import (
 	"os"
 	"slices"
 	"strings"
+	"time"
 
-	"nocmap/internal/area"
-	"nocmap/internal/core"
-	"nocmap/internal/power"
-	"nocmap/internal/rtlgen"
-	"nocmap/internal/search"
-	"nocmap/internal/sim"
-	"nocmap/internal/topology"
-	"nocmap/internal/traffic"
-	"nocmap/internal/usecase"
-	"nocmap/internal/verify"
+	"nocmap/pkg/noc"
 )
 
 func main() {
@@ -51,7 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	in := fs.String("in", "", "design JSON file (required)")
 	engine := fs.String("engine", "greedy",
-		"search engine: "+strings.Join(search.Names(), "|"))
+		"search engine: "+strings.Join(noc.Engines(), "|"))
 	topoFlag := fs.String("topology", "",
 		"interconnect family: mesh|torus|@fabric.json (default: the design's topology tag, else mesh)")
 	seed := fs.Int64("seed", 1, "base PRNG seed for the anneal/portfolio engines")
@@ -61,11 +54,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slots := fs.Int("slots", 64, "TDMA slot-table size")
 	maxDim := fs.Int("maxdim", 20, "maximum mesh dimension")
 	improve := fs.Bool("improve", false, "run placement refinement after mapping")
+	progress := fs.Bool("progress", false, "stream search progress events to stderr")
 	vhdl := fs.String("vhdl", "", "write structural VHDL to this file")
 	config := fs.String("config", "", "write per-use-case slot-table images to <prefix>-<usecase>.cfg")
 	placement := fs.String("placement", "", "write core placement table to this file")
 	simulate := fs.Bool("sim", false, "validate every configuration with the slot-accurate simulator")
 	server := fs.String("server", "", "delegate to a running nocserved at this base URL (e.g. http://localhost:8080)")
+	timeout := fs.Duration("timeout", 0, "give up on an unresponsive -server after this long (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,13 +70,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	if !slices.Contains(search.Names(), *engine) {
+	if !slices.Contains(noc.Engines(), *engine) {
 		fmt.Fprintf(stderr, "nocmap: unknown -engine %q; valid engines: %s\n",
-			*engine, strings.Join(search.Names(), ", "))
+			*engine, strings.Join(noc.Engines(), ", "))
 		return 2
 	}
 	if v := *topoFlag; v != "" && !strings.HasPrefix(v, "@") {
-		if _, err := topology.ParseKind(v); err != nil {
+		if !slices.Contains(noc.TopologyKinds(), v) {
 			fmt.Fprintf(stderr, "nocmap: unknown -topology %q; valid choices: %s\n", v, topologyChoices)
 			return 2
 		}
@@ -95,93 +90,76 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "nocmap: custom fabrics (@file.json) carry their link lists and run locally; drop -server to use them")
 			return 2
 		}
-		if err := runRemote(stdout, *server, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
+		if *progress {
+			fmt.Fprintln(stderr, "nocmap: -progress streams from in-process engines and runs locally; drop -server to use it")
+			return 2
+		}
+		if err := runRemote(stdout, stderr, *server, *timeout, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
 			fmt.Fprintln(stderr, "nocmap:", err)
 			return 1
 		}
 		return 0
 	}
-	opts := search.DefaultOptions()
-	opts.Seed = *seed
-	opts.Seeds = *seeds
-	opts.Budget = *budget
-	if err := runLocal(stdout, stderr, *in, *engine, *topoFlag, opts, *freq, *slots, *maxDim, *improve, *vhdl, *config, *placement, *simulate); err != nil {
+	if err := runLocal(stdout, stderr, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve, *progress, *vhdl, *config, *placement, *simulate); err != nil {
 		fmt.Fprintln(stderr, "nocmap:", err)
 		return 1
 	}
 	return 0
 }
 
-// resolveTopology turns the -topology argument (or, when empty, the design's
-// own topology tag) into a buildable spec.
-func resolveTopology(topoFlag string, d *traffic.Design) (topology.Spec, error) {
-	arg := topoFlag
-	if arg == "" {
-		tag := d.Topology
-		if strings.HasPrefix(tag, "custom:") {
-			return topology.Spec{}, fmt.Errorf(
-				"design %q targets a custom fabric (%s); pass its description with -topology @fabric.json", d.Name, tag)
-		}
-		arg = tag
-	}
-	return topology.ParseSpec(arg)
-}
-
-func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, opts search.Options, freq float64, slots, maxDim int, improve bool, vhdl, config, placement string, simulate bool) error {
-	eng, err := search.New(engine)
+func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64, seeds int, budget time.Duration,
+	freq float64, slots, maxDim int, improve, progress bool, vhdl, config, placement string, simulate bool) error {
+	d, err := noc.LoadDesignFile(in)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(in)
-	if err != nil {
-		return fmt.Errorf("open design: %w", err)
-	}
-	defer f.Close()
-	d, err := traffic.ReadJSON(f)
-	if err != nil {
-		return fmt.Errorf("parse design %s: %w", in, err)
-	}
-	spec, err := resolveTopology(topoFlag, d)
-	if err != nil {
-		return err
-	}
-	d.Topology = spec.CanonicalID()
-	prep, err := usecase.Prepare(d)
+	prep, err := noc.Prepare(d)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "design %q: %d cores, %d use-cases (%d compound generated), %d configuration groups\n",
 		d.Name, d.NumCores(), len(prep.UseCases), len(prep.UseCases)-prep.NumOriginal, len(prep.Groups))
 
-	p := core.DefaultParams()
-	p.FreqMHz = freq
-	p.SlotTableSize = slots
-	p.MaxMeshDim = maxDim
-	p.Improve = improve
-	p.Topology = spec
-	res, err := eng.Search(context.Background(), prep, d.NumCores(), p, opts)
+	opts := []noc.Option{
+		noc.WithEngine(engine),
+		noc.WithTopology(topoFlag),
+		noc.WithSeed(seed),
+		noc.WithSeeds(seeds),
+		noc.WithBudget(budget),
+		noc.WithFrequencyMHz(freq),
+		noc.WithSlotTableSize(slots),
+		noc.WithMaxMeshDim(maxDim),
+		noc.WithImprove(improve),
+	}
+	if progress {
+		opts = append(opts, noc.WithProgress(func(e noc.Event) {
+			fmt.Fprintf(stderr, "progress: %s %s %s cost=%.1f\n", e.Engine, e.Stage, e.Dim, e.Cost)
+		}))
+	}
+	res, err := noc.Map(context.Background(), d, opts...)
 	if err != nil {
 		return err
 	}
-	m := res.Mapping
-	fmt.Fprintf(stdout, "mapped onto %s at %.0f MHz (engine %s)\n", m.Topology, freq, eng.Name())
+	fmt.Fprintf(stdout, "mapped onto %s at %.0f MHz (engine %s)\n", res.Fabric(), freq, res.Engine())
 	fmt.Fprintf(stdout, "stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
-		res.Stats.MaxLinkUtil*100, res.Stats.AvgMeshHops, res.Stats.SlotsReserved)
+		res.MaxLinkUtil*100, res.AvgMeshHops, res.SlotsReserved)
 
-	if vs := verify.Check(m); len(vs) > 0 {
-		for _, v := range vs {
+	if len(res.Violations) > 0 {
+		for _, v := range res.Violations {
 			fmt.Fprintln(stderr, "verify:", v)
 		}
-		return fmt.Errorf("%d verification violations", len(vs))
+		return fmt.Errorf("%d verification violations", len(res.Violations))
 	}
 	fmt.Fprintln(stdout, "verification: all invariants hold")
 
-	model := area.DefaultModel()
 	fmt.Fprintf(stdout, "area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
-		model.NoCMM2(m), power.Watts(m.SwitchCount(), freq)*1000, freq)
+		res.AreaMM2, res.PowerMW, freq)
 
 	if simulate {
-		problems := sim.VerifyAgainstAnalytic(m, 16*p.SlotTableSize)
+		problems, err := res.SimVerify(16 * slots)
+		if err != nil {
+			return err
+		}
 		if len(problems) > 0 {
 			for _, pr := range problems {
 				fmt.Fprintln(stderr, "sim:", pr)
@@ -192,23 +170,23 @@ func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, opts search
 	}
 
 	if vhdl != "" {
-		if err := writeFile(vhdl, func(w *os.File) error { return rtlgen.WriteVHDL(w, m) }); err != nil {
+		if err := writeFile(vhdl, res.WriteVHDL); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "wrote", vhdl)
 	}
 	if config != "" {
-		for uc := range prep.UseCases {
-			name := fmt.Sprintf("%s-%s.cfg", config, prep.UseCases[uc].Name)
+		for uc, u := range res.UseCases {
+			name := fmt.Sprintf("%s-%s.cfg", config, u.Name)
 			ucCopy := uc
-			if err := writeFile(name, func(w *os.File) error { return rtlgen.WriteConfig(w, m, ucCopy) }); err != nil {
+			if err := writeFile(name, func(w io.Writer) error { return res.WriteConfig(w, ucCopy) }); err != nil {
 				return err
 			}
 			fmt.Fprintln(stdout, "wrote", name)
 		}
 	}
 	if placement != "" {
-		if err := writeFile(placement, func(w *os.File) error { return rtlgen.WritePlacement(w, m) }); err != nil {
+		if err := writeFile(placement, res.WritePlacement); err != nil {
 			return err
 		}
 		fmt.Fprintln(stdout, "wrote", placement)
@@ -216,7 +194,7 @@ func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, opts search
 	return nil
 }
 
-func writeFile(name string, fn func(*os.File) error) error {
+func writeFile(name string, fn func(io.Writer) error) error {
 	f, err := os.Create(name)
 	if err != nil {
 		return err

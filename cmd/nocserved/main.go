@@ -1,23 +1,25 @@
 // Command nocserved serves the mapping methodology over HTTP/JSON: a
 // long-lived daemon with a bounded worker pool, canonical-digest result
-// caching, and single-flight deduplication of identical requests
-// (internal/service).
+// caching, and single-flight deduplication of identical requests, embedded
+// from the public SDK (noc.NewServer).
 //
 // Usage:
 //
 //	nocserved [-addr :8080] [-workers 8] [-queue 64] [-cache 128]
 //	          [-timeout 0]
 //
-// Endpoints:
+// Endpoints (versioned surface, see docs/cli.md for schemas):
 //
-//	POST /map       map one design (async with {"async":true})
-//	POST /batch     map many designs in one call
-//	GET  /jobs/{id} poll an async job
-//	GET  /healthz   liveness
-//	GET  /stats     cache and pool gauges
+//	POST /v1/map       map one design (async with {"async":true})
+//	POST /v1/batch     map many designs in one call
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /v1/stats     cache and pool gauges
+//	GET  /v1/version   build identity
+//	GET  /healthz      liveness + version
 //
-// The request body of /map embeds a design in the standard interchange
-// format under "design"; see docs/cli.md for a full curl session.
+// The pre-/v1 routes remain mounted as deprecated aliases. The request body
+// of /v1/map embeds a design in the standard interchange format under
+// "design"; see docs/cli.md for a full curl session.
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 	"syscall"
 	"time"
 
-	"nocmap/internal/service"
+	"nocmap/pkg/noc"
 )
 
 func main() {
@@ -42,13 +44,13 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	server := noc.NewServer(noc.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
 	})
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(svc)}
+	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
 
 	done := make(chan struct{})
 	go func() {
@@ -62,11 +64,11 @@ func main() {
 		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain before Close
 	}()
 
-	fmt.Printf("nocserved: listening on %s\n", *addr)
+	fmt.Printf("nocserved %s: listening on %s (API /v1)\n", noc.Version(), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "nocserved:", err)
 		os.Exit(1)
 	}
 	<-done
-	svc.Close()
+	server.Close()
 }

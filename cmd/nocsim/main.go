@@ -1,62 +1,60 @@
 // Command nocsim maps a design and then exercises it on the slot-accurate
 // simulator: per-use-case delivered bandwidth and worst-case latency, plus
-// the reconfiguration cost matrix for every use-case switch.
+// the reconfiguration cost matrix for every use-case switch. It is a thin
+// shell over the public SDK (pkg/noc).
 //
 // Usage:
 //
-//	nocsim -in design.json [-rotations 64]
+//	nocsim -in design.json [-topology mesh|torus|@fabric.json] [-rotations 64]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"nocmap/internal/core"
-	"nocmap/internal/sim"
-	"nocmap/internal/traffic"
-	"nocmap/internal/usecase"
+	"nocmap/pkg/noc"
 )
 
 func main() {
 	in := flag.String("in", "", "design JSON file (required)")
+	topo := flag.String("topology", "",
+		"interconnect family: mesh|torus|@fabric.json (default: the design's topology tag, else mesh)")
 	rotations := flag.Int("rotations", 64, "slot-table rotations to simulate")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *rotations); err != nil {
+	if err := run(*in, *topo, *rotations); err != nil {
 		fmt.Fprintln(os.Stderr, "nocsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, rotations int) error {
-	f, err := os.Open(in)
+func run(in, topo string, rotations int) error {
+	d, err := noc.LoadDesignFile(in)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	d, err := traffic.ReadJSON(f)
+	prep, err := noc.Prepare(d)
 	if err != nil {
 		return err
 	}
-	prep, err := usecase.Prepare(d)
+	res, err := noc.Map(context.Background(), d, noc.WithTopology(topo))
 	if err != nil {
 		return err
 	}
-	p := core.DefaultParams()
-	res, err := core.Map(prep, d.NumCores(), p)
+	p, err := res.Params()
 	if err != nil {
 		return err
 	}
-	m := res.Mapping
-	cfg := sim.Config{Slots: rotations * p.SlotTableSize, ReconfigCyclesPerEntry: 4}
-	fmt.Printf("design %q on %s, simulating %d slots per use-case\n", d.Name, m.Topology, cfg.Slots)
+	cfg := noc.SimConfig{Slots: rotations * p.SlotTableSize, ReconfigCyclesPerEntry: 4}
+	fmt.Printf("design %q on %s, simulating %d slots per use-case\n", d.Name, res.Fabric(), cfg.Slots)
 
 	for uc := range prep.UseCases {
-		r, err := sim.Run(m, uc, cfg)
+		r, err := res.Simulate(uc, cfg)
 		if err != nil {
 			return err
 		}
@@ -87,7 +85,7 @@ func run(in string, rotations int) error {
 	for a := range prep.UseCases {
 		fmt.Printf("%16.16s", prep.UseCases[a].Name)
 		for b := range prep.UseCases {
-			c, err := sim.SwitchCost(m, a, b, cfg)
+			c, err := res.SwitchCost(a, b, cfg)
 			if err != nil {
 				return err
 			}

@@ -2,9 +2,10 @@
 // onto Networks on Chips" (Murali, Coenen, Radulescu, Goossens, De Micheli,
 // DATE 2006).
 //
-// The library designs the smallest mesh Network-on-Chip that satisfies the
-// bandwidth and latency constraints of every use-case of an SoC. It
-// implements the paper's three design phases:
+// The library designs the smallest Network-on-Chip — on a mesh, torus, or
+// arbitrary custom fabric — that satisfies the bandwidth and latency
+// constraints of every use-case of an SoC. It implements the paper's three
+// design phases:
 //
 //  1. Use-case pre-processing (internal/usecase): compound modes are
 //     synthesized for use-cases that run in parallel, and use-cases requiring
@@ -49,10 +50,22 @@
 // collapses identical in-flight requests into one engine run
 // (single-flight), and executes jobs on a bounded worker pool with
 // per-job deadlines, queue backpressure, and a queryable
-// queued/running/done/failed lifecycle. cmd/nocserved exposes it over
-// HTTP/JSON (POST /map, POST /batch, GET /jobs/{id}, /healthz, /stats) and
-// cmd/nocmap -server delegates to a running daemon. ARCHITECTURE.md maps
-// the full layering; docs/cli.md documents every binary and endpoint.
+// queued/running/done/failed lifecycle. cmd/nocserved exposes it over a
+// versioned HTTP/JSON surface (POST /v1/map, POST /v1/batch,
+// GET /v1/jobs/{id}, /v1/stats, /v1/version, /healthz; the pre-/v1 routes
+// remain as deprecated aliases) and cmd/nocmap -server delegates to a
+// running daemon. ARCHITECTURE.md maps the full layering; docs/cli.md
+// documents every binary and endpoint.
+//
+// The public face of all of this is the SDK in pkg/noc: typed design
+// construction (noc.DesignBuilder, noc.LoadDesign), one composable
+// noc.Map(ctx, design, opts...) entry point with functional options
+// (WithEngine, WithTopology, WithWeights, WithSeed, WithBudget,
+// WithProgress for streaming search events), a noc.Result with a stable
+// JSON encoding plus back-end methods (WriteVHDL, Simulate, ...), a
+// noc.Client for the /v1 service, and noc.NewServer for embedding the
+// daemon. The five cmd/ binaries are thin shells over pkg/noc; external
+// programs embed the mapper the same way (docs/sdk.md has a quickstart).
 //
 // The whole pipeline is topology-generic (the paper notes the methodology
 // "applies to any topology"): a topology.Spec in core.Params selects the

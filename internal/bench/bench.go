@@ -37,6 +37,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"nocmap/internal/traffic"
 )
@@ -56,6 +57,29 @@ func (c Class) String() string {
 		return "Bot"
 	}
 	return "Sp"
+}
+
+// ClassNames lists the synthetic families by the names ClassByName
+// resolves, in display order. The single source for every class listing
+// (nocgen -class, the SDK's noc.Synthetic, the experiments sweeps).
+func ClassNames() []string { return []string{Spread.String(), Bottleneck.String()} }
+
+// ClassByName resolves a class name ("Sp", "Bot").
+func ClassByName(name string) (Class, error) {
+	for _, c := range []Class{Spread, Bottleneck} {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: unknown synthetic class %q (have %s)", name, strings.Join(ClassNames(), ", "))
+}
+
+// SpecFor returns the Section 6.2 benchmark spec of the class.
+func (c Class) SpecFor(useCases int, seed int64) SynthSpec {
+	if c == Bottleneck {
+		return BottleneckSpec(useCases, seed)
+	}
+	return SpreadSpec(useCases, seed)
 }
 
 // cluster is one traffic class of the paper's value model.

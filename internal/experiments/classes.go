@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"nocmap/internal/bench"
+)
+
+// SyntheticClassNames lists the Figure 6 synthetic families by the names
+// the CLI and the name-keyed runners accept.
+func SyntheticClassNames() []string { return bench.ClassNames() }
+
+// Fig6SyntheticNamed is Fig6Synthetic keyed by class name ("Sp", "Bot"),
+// for callers that stay off the internal bench types (cmd/nocbench).
+func Fig6SyntheticNamed(class string, useCases []int) ([]Comparison, error) {
+	c, err := bench.ClassByName(class)
+	if err != nil {
+		return nil, err
+	}
+	return Fig6Synthetic(c, useCases)
+}
+
+// TopologySweepNamed is TopologySweep keyed by class name ("Sp", "Bot").
+func TopologySweepNamed(class string, useCases []int) ([]TopologyRow, error) {
+	c, err := bench.ClassByName(class)
+	if err != nil {
+		return nil, err
+	}
+	return TopologySweep(c, useCases)
+}

@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"nocmap/internal/bench"
-	"nocmap/internal/search"
+	"nocmap/internal/core"
 	"nocmap/internal/traffic"
-	"nocmap/internal/usecase"
+	"nocmap/pkg/noc"
 )
 
 // EngineRow is one (design, engine) cell of the search-engine comparison:
@@ -23,6 +23,29 @@ type EngineRow struct {
 	Cost     float64
 	Elapsed  time.Duration
 }
+
+// EngineOptions tune the comparison's stochastic engines. Seed and Seeds
+// are passed to the engines verbatim (seed 0 is a valid PRNG stream and
+// seeds 0 a pure-greedy portfolio); DefaultEngineOptions matches the CLI
+// defaults.
+type EngineOptions struct {
+	// Seed is the base PRNG seed; derived member seeds are deterministic
+	// functions of it.
+	Seed int64
+	// Seeds is the number of multi-start annealers in the portfolio engine.
+	Seeds int
+	// Budget bounds each engine run's improvement phase (0 = unbounded).
+	Budget time.Duration
+	// Iters overrides the annealing moves per start when positive.
+	Iters int
+	// Restarts overrides the feasible-start probes per shrunk fabric size
+	// when positive.
+	Restarts int
+}
+
+// DefaultEngineOptions returns the comparison defaults (seed 1, four
+// portfolio annealers, unbounded) — the values nocbench's flags default to.
+func DefaultEngineOptions() EngineOptions { return EngineOptions{Seed: 1, Seeds: 4} }
 
 // EngineDesigns returns the comparison suite: the D1-D4 SoC stand-ins plus
 // one Spread and one Bottleneck synthetic design from the Figure 6 families.
@@ -47,35 +70,44 @@ func EngineDesigns() ([]*traffic.Design, error) {
 }
 
 // EngineComparison runs every registered search engine over the given
-// designs and reports one row per (design, engine) pair. The portfolio
-// contains the greedy engine as a member, so its switch count is never above
-// greedy's on any design.
-func EngineComparison(ctx context.Context, designs []*traffic.Design, opts search.Options) ([]EngineRow, error) {
-	p := Params()
+// designs through the public SDK (noc.Map) and reports one row per
+// (design, engine) pair. The portfolio contains the greedy engine as a
+// member, so its switch count is never above greedy's on any design.
+func EngineComparison(ctx context.Context, designs []*traffic.Design, opts EngineOptions) ([]EngineRow, error) {
+	weights := noc.DefaultWeights()
 	var rows []EngineRow
 	for _, d := range designs {
-		prep, err := usecase.Prepare(d)
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range search.Names() {
-			eng, err := search.New(name)
-			if err != nil {
-				return nil, err
+		for _, name := range noc.Engines() {
+			mapOpts := []noc.Option{
+				noc.WithEngine(name),
+				noc.WithSeed(opts.Seed),
+				noc.WithSeeds(opts.Seeds),
+				noc.WithBudget(opts.Budget),
+			}
+			if opts.Iters > 0 {
+				mapOpts = append(mapOpts, noc.WithIters(opts.Iters))
+			}
+			if opts.Restarts > 0 {
+				mapOpts = append(mapOpts, noc.WithRestarts(opts.Restarts))
 			}
 			t0 := time.Now()
-			res, err := eng.Search(ctx, prep, d.NumCores(), p, opts)
+			res, err := noc.Map(ctx, d, mapOpts...)
 			if err != nil {
 				return nil, fmt.Errorf("engine %s on %s: %w", name, d.Name, err)
+			}
+			stats := core.Stats{
+				MaxLinkUtil:   res.MaxLinkUtil,
+				AvgMeshHops:   res.AvgMeshHops,
+				SlotsReserved: res.SlotsReserved,
 			}
 			rows = append(rows, EngineRow{
 				Design:   d.Name,
 				Engine:   name,
-				Switches: res.Mapping.SwitchCount(),
-				Dim:      res.Dim().String(),
-				AvgHops:  res.Stats.AvgMeshHops,
-				MaxUtil:  res.Stats.MaxLinkUtil,
-				Cost:     opts.Weights.Of(res),
+				Switches: res.Switches,
+				Dim:      fmt.Sprintf("%dx%d", res.Rows, res.Cols),
+				AvgHops:  res.AvgMeshHops,
+				MaxUtil:  res.MaxLinkUtil,
+				Cost:     weights.OfParts(res.Switches, stats),
 				Elapsed:  time.Since(t0),
 			})
 		}

@@ -3,8 +3,6 @@ package experiments
 import (
 	"context"
 	"testing"
-
-	"nocmap/internal/search"
 )
 
 // TestEngineComparisonPortfolioNotWorse checks the acceptance criterion of
@@ -15,12 +13,9 @@ func TestEngineComparisonPortfolioNotWorse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := search.DefaultOptions()
 	// Trimmed search effort: the invariant under test is structural
 	// (portfolio contains greedy), not a function of annealing length.
-	opts.Iters = 30
-	opts.Restarts = 1
-	opts.Seeds = 2
+	opts := EngineOptions{Seed: 1, Seeds: 2, Iters: 30, Restarts: 1}
 	rows, err := EngineComparison(context.Background(), designs, opts)
 	if err != nil {
 		t.Fatal(err)

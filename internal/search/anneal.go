@@ -29,7 +29,7 @@ type Anneal struct{}
 func (Anneal) Name() string { return "anneal" }
 
 // Search implements Engine.
-func (Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+func (an Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 	p core.Params, opts Options) (*core.Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -49,6 +49,7 @@ func (Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 			return nil, err
 		}
 	}
+	opts.emit(an.Name(), StageMapped, base)
 	if opts.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
@@ -65,6 +66,7 @@ func (Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 		evals: evals,
 	}
 	a.run(ctx, base)
+	opts.emit(an.Name(), StageDone, a.best)
 	return a.best, nil
 }
 
@@ -294,10 +296,12 @@ func (a *annealer) propose(sess *core.Session, numNIs int, attached []int) (core
 	return stats, true
 }
 
-// consider updates the incumbent when the candidate scores strictly better.
+// consider updates the incumbent when the candidate scores strictly better,
+// emitting one StageImproved progress event per strict improvement.
 func (a *annealer) consider(r *core.Result) {
 	if c := a.opts.Weights.Of(r); c < a.bestCost-1e-12 {
 		a.best, a.bestCost = r, c
+		a.opts.emit("anneal", StageImproved, r)
 	}
 }
 

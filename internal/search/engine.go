@@ -63,6 +63,14 @@ type Options struct {
 	Restarts int
 	// Weights score candidate mappings.
 	Weights CostWeights
+	// Progress, when set, receives streaming events while the search runs:
+	// the constructive base (StageMapped), every strict improvement of an
+	// annealer's incumbent (StageImproved), and the final result (StageDone).
+	// The callback runs synchronously on the searching goroutine and is
+	// never invoked concurrently with itself — the portfolio serializes its
+	// members — so a slow callback slows the search. Progress does not
+	// affect the result and is excluded from service cache keys.
+	Progress func(Event)
 
 	// base, when set, is a precomputed greedy result the annealer starts
 	// from instead of running core.Map itself. The portfolio uses it to run

@@ -23,10 +23,17 @@ func (Greedy) Name() string { return "greedy" }
 // would only turn "slow" into "no result". Budgets bound the improvement
 // engines built on top (anneal, portfolio), which fall back to this
 // engine's completed result.
-func (Greedy) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+func (g Greedy) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 	p core.Params, opts Options) (*core.Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	return core.MapContext(ctx, prep, numCores, p)
+	res, err := core.MapContext(ctx, prep, numCores, p)
+	if err != nil {
+		return nil, err
+	}
+	o := opts
+	o.Seed = 0 // deterministic: no PRNG stream to report
+	o.emit(g.Name(), StageDone, res)
+	return res, nil
 }

@@ -29,7 +29,7 @@ type job struct {
 }
 
 // Search implements Engine.
-func (Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+func (pf Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
 	p core.Params, opts Options) (*core.Result, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -43,10 +43,17 @@ func (Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores in
 	// the feasible greedy result. The annealers all start from its result;
 	// if greedy finds no mapping the annealers cannot either, since they
 	// explore from the greedy solution.
-	base, err := Greedy{}.Search(ctx, prep, numCores, p, opts)
+	// One serialized progress callback is shared by the base run and every
+	// member annealer, so the caller's callback never runs concurrently with
+	// itself no matter how the pool schedules.
+	opts.Progress = serializedProgress(opts.Progress)
+	baseOpts := opts
+	baseOpts.Progress = nil // the base is re-announced by each member's StageMapped
+	base, err := Greedy{}.Search(ctx, prep, numCores, p, baseOpts)
 	if err != nil {
 		return nil, err
 	}
+	opts.emit(pf.Name(), StageMapped, base)
 	if opts.Budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
@@ -94,7 +101,9 @@ func (Portfolio) Search(ctx context.Context, prep *usecase.Prepared, numCores in
 	close(queue)
 	wg.Wait()
 
-	return pickBest(base, results, opts.Weights), nil
+	best := pickBest(base, results, opts.Weights)
+	opts.emit(pf.Name(), StageDone, best)
+	return best, nil
 }
 
 // outcome is one member's finished run, tagged with its deterministic order

@@ -1,0 +1,79 @@
+package search
+
+import (
+	"sync"
+
+	"nocmap/internal/core"
+)
+
+// Stage identifies what a progress Event reports.
+type Stage string
+
+// Progress stages, in the order one engine run emits them.
+const (
+	// StageMapped announces the constructive base mapping an improvement
+	// engine starts from (the greedy result, or a feasible placement found on
+	// a probed smaller fabric).
+	StageMapped Stage = "mapped"
+	// StageImproved announces a new best-so-far under the cost weights.
+	// Every strict improvement of an annealer's incumbent emits exactly one
+	// event with this stage.
+	StageImproved Stage = "improved"
+	// StageDone announces the engine's final result.
+	StageDone Stage = "done"
+)
+
+// Event is one progress notification from a running engine. Options.Progress
+// receives events synchronously from the goroutine performing the search;
+// the portfolio serializes its members' callbacks, so a callback never runs
+// concurrently with itself.
+type Event struct {
+	// Engine names the emitting engine ("greedy", "anneal", "portfolio").
+	// Portfolio members report as "anneal" with their derived Seed, followed
+	// by one final "portfolio" StageDone event for the pool's winner.
+	Engine string `json:"engine"`
+	Stage  Stage  `json:"stage"`
+	// Seed is the PRNG seed of the emitting annealer (0 for deterministic
+	// engines), distinguishing portfolio members.
+	Seed int64 `json:"seed,omitempty"`
+	// Switches and Dim describe the candidate's fabric size.
+	Switches int    `json:"switches"`
+	Dim      string `json:"dim"`
+	// Cost is the candidate's score under the configured cost weights
+	// (lower is better).
+	Cost float64 `json:"cost"`
+	// Stats are the candidate's load statistics.
+	Stats core.Stats `json:"stats"`
+}
+
+// emit delivers an event for the given result when a progress callback is
+// configured.
+func (o Options) emit(engine string, stage Stage, r *core.Result) {
+	if o.Progress == nil || r == nil {
+		return
+	}
+	o.Progress(Event{
+		Engine:   engine,
+		Stage:    stage,
+		Seed:     o.Seed,
+		Switches: r.Mapping.SwitchCount(),
+		Dim:      r.Dim().String(),
+		Cost:     o.Weights.Of(r),
+		Stats:    r.Stats,
+	})
+}
+
+// serializedProgress wraps a progress callback so concurrent emitters (the
+// portfolio's worker pool) never run it in parallel. A nil callback wraps to
+// nil, keeping the fast no-progress path allocation-free.
+func serializedProgress(fn func(Event)) func(Event) {
+	if fn == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(e)
+	}
+}

@@ -129,16 +129,37 @@ type BatchResult struct {
 	Error    string    `json:"error,omitempty"`
 }
 
-// NewHandler returns the HTTP facade of the service:
+// NewHandler returns the HTTP facade of the service. The blessed surface is
+// versioned under /v1:
 //
-//	POST /map      — map one design; {"async":true} returns 202 + job ID
-//	POST /batch    — map many designs in one call on the shared pool
-//	GET  /jobs/{id} — job state (queued|running|done|failed) and result
-//	GET  /healthz  — liveness
-//	GET  /stats    — cache hit/miss counters and pool gauges
+//	POST /v1/map       — map one design; {"async":true} returns 202 + job ID
+//	POST /v1/batch     — map many designs in one call on the shared pool
+//	GET  /v1/jobs/{id} — job state (queued|running|done|failed) and result
+//	GET  /v1/stats     — cache hit/miss counters and pool gauges
+//	GET  /v1/version   — build identity (module version, VCS revision)
+//	GET  /healthz      — liveness plus build version (unversioned on purpose:
+//	                     probe configs outlive API revisions)
+//
+// The pre-/v1 routes (POST /map, POST /batch, GET /jobs/{id}, GET /stats)
+// remain mounted as thin deprecated aliases of their /v1 equivalents; they
+// answer identically but carry a Deprecation header and a Link to the
+// successor route.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /map", func(w http.ResponseWriter, r *http.Request) {
+	// handle mounts one route at its /v1 home and as a deprecated legacy
+	// alias at the original unversioned path. The Link header names the
+	// request's actual successor URL (path parameters substituted), so
+	// following it lands on the equivalent /v1 resource.
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", "</v1"+r.URL.Path+">; rel=\"successor-version\"")
+			h(w, r)
+		})
+	}
+
+	handle("POST", "/map", func(w http.ResponseWriter, r *http.Request) {
 		var mr MapRequest
 		if err := json.NewDecoder(r.Body).Decode(&mr); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -167,7 +188,7 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 
-	mux.HandleFunc("POST /batch", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST", "/batch", func(w http.ResponseWriter, r *http.Request) {
 		var br BatchRequest
 		if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -197,7 +218,7 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, ok := s.Job(r.PathValue("id"))
 		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
@@ -206,15 +227,25 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
-	})
-
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, BuildVersion())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{OK: true, Version: BuildVersion()})
+	})
+
 	return mux
+}
+
+// healthResponse is the GET /healthz body: liveness plus build identity.
+type healthResponse struct {
+	OK      bool        `json:"ok"`
+	Version VersionInfo `json:"version"`
 }
 
 // statusOf maps service errors to HTTP status codes. Unrecognized errors map

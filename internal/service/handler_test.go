@@ -234,9 +234,12 @@ func TestServerErrorPaths(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/jobs/j404", nil); code != http.StatusNotFound {
 		t.Errorf("unknown job: HTTP %d, want 404", code)
 	}
-	var health map[string]bool
-	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health["ok"] {
-		t.Errorf("healthz: HTTP %d, body %v", code, health)
+	var health healthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health.OK {
+		t.Errorf("healthz: HTTP %d, body %+v", code, health)
+	}
+	if health.Version.Version == "" {
+		t.Errorf("healthz reports no build version: %+v", health)
 	}
 
 	// An infeasible design (more communicating cores than a 1x1 mesh can

@@ -604,9 +604,19 @@ type UseCaseResult struct {
 
 // summarize flattens an engine result into the wire form.
 func summarize(req Request, prep *usecase.Prepared, res *core.Result) *Response {
+	key, _ := req.Key() // validated at admission; cannot fail here
+	return &Response{Key: key, Engine: req.Engine, Result: SummarizeResult(req.Design.Name, prep, res)}
+}
+
+// SummarizeResult flattens an engine result into the stable wire Result:
+// fabric shape, load statistics, area/power estimates, placement, use-case
+// roster and analytic verification verdicts. The SDK (pkg/noc) uses the same
+// summary for local runs, so a design mapped in-process and the same design
+// mapped through the service encode identically.
+func SummarizeResult(designName string, prep *usecase.Prepared, res *core.Result) Result {
 	m := res.Mapping
 	out := Result{
-		Design:        req.Design.Name,
+		Design:        designName,
 		Topology:      m.Topology.Kind.String(),
 		Rows:          m.Topology.Rows,
 		Cols:          m.Topology.Cols,
@@ -615,7 +625,7 @@ func summarize(req Request, prep *usecase.Prepared, res *core.Result) *Response 
 		AvgMeshHops:   res.Stats.AvgMeshHops,
 		SlotsReserved: res.Stats.SlotsReserved,
 		AreaMM2:       area.DefaultModel().NoCMM2(m),
-		PowerMW:       power.Watts(m.SwitchCount(), req.Params.FreqMHz) * 1000,
+		PowerMW:       power.Watts(m.SwitchCount(), m.Params.FreqMHz) * 1000,
 		CoreSwitch:    append([]int(nil), m.CoreSwitch...),
 		CoreNI:        append([]int(nil), m.CoreNI...),
 	}
@@ -627,6 +637,5 @@ func summarize(req Request, prep *usecase.Prepared, res *core.Result) *Response 
 	for _, v := range verify.Check(m) {
 		out.Violations = append(out.Violations, v.String())
 	}
-	key, _ := req.Key() // validated at admission; cannot fail here
-	return &Response{Key: key, Engine: req.Engine, Result: out}
+	return out
 }

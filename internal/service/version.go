@@ -1,0 +1,66 @@
+package service
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// VersionInfo is the build identity served at GET /v1/version and folded
+// into /healthz. Fields are best-effort: binaries built outside a module or
+// without VCS stamping report what the Go runtime recorded.
+type VersionInfo struct {
+	// Version is the main module's version: a tag for released builds,
+	// "(devel)" for builds from a working tree.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that produced the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit the binary was built from, when stamped.
+	Revision string `json:"revision,omitempty"`
+	// BuildTime is the VCS commit timestamp (RFC 3339), when stamped.
+	BuildTime string `json:"build_time,omitempty"`
+	// Dirty reports uncommitted changes in the build's working tree.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// String renders the version for log lines: "v1.2.3 (abc1234)".
+func (v VersionInfo) String() string {
+	s := v.Version
+	if rev := v.Revision; rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " (" + rev
+		if v.Dirty {
+			s += "-dirty"
+		}
+		s += ")"
+	}
+	return s
+}
+
+var buildVersion = sync.OnceValue(func() VersionInfo {
+	v := VersionInfo{Version: "(devel)"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.GoVersion = info.GoVersion
+	if info.Main.Version != "" {
+		v.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.BuildTime = s.Value
+		case "vcs.modified":
+			v.Dirty = s.Value == "true"
+		}
+	}
+	return v
+})
+
+// BuildVersion reports the running binary's build identity, read once from
+// runtime/debug.ReadBuildInfo.
+func BuildVersion() VersionInfo { return buildVersion() }

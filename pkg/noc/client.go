@@ -1,0 +1,231 @@
+package noc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"nocmap/internal/service"
+)
+
+// Wire types of the /v1 service surface, shared verbatim with the server so
+// client and daemon cannot drift.
+type (
+	// MapRequest is the body of POST /v1/map: the design JSON plus engine
+	// and parameter overrides. BuildMapRequest constructs one from a Design
+	// and options.
+	MapRequest = service.MapRequest
+	// MapResponse is the body of a synchronous POST /v1/map reply: the
+	// result summary plus the cache verdict.
+	MapResponse = service.Response
+	// JobStatus is the body of GET /v1/jobs/{id} and of an async map's 202
+	// reply.
+	JobStatus = service.JobStatus
+	// BatchResult is one entry of the POST /v1/batch reply, in request
+	// order.
+	BatchResult = service.BatchResult
+	// ServerStats is the body of GET /v1/stats: cache and pool gauges.
+	ServerStats = service.Stats
+)
+
+// Client talks to a running nocserved daemon over its versioned /v1 HTTP
+// surface. Repeated identical requests from any number of clients share the
+// daemon's result cache. The zero value is not usable; construct with
+// NewClient.
+type Client struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom transport,
+// instrumentation, test doubles).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithTimeout bounds every request issued by the client, covering
+// connection, server queueing and the engine run — the guard that keeps a
+// hung server from stalling a caller forever. Zero (the default) waits
+// indefinitely; per-call contexts still apply either way.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// NewClient returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	// Applied after all options so WithTimeout and WithHTTPClient compose in
+	// either order; the caller's client is copied, never mutated.
+	if c.timeout > 0 {
+		hc := *c.hc
+		hc.Timeout = c.timeout
+		c.hc = &hc
+	}
+	return c
+}
+
+// BuildMapRequest translates a design plus options into the wire form of
+// POST /v1/map. Local-only options (WithProgress, WithWeights, WithParams,
+// WithWorkers) and custom fabrics are rejected: the service computes with
+// its own configuration so results stay cacheable across callers.
+func BuildMapRequest(d *Design, opts ...Option) (MapRequest, error) {
+	cfg := newConfig(opts)
+	var mr MapRequest
+	switch {
+	case cfg.opts.Progress != nil:
+		return mr, fmt.Errorf("noc: WithProgress streams from in-process engines only; drop it for remote mapping")
+	case cfg.weightsSet:
+		return mr, fmt.Errorf("noc: WithWeights is local-only; the service scores with its configured weights")
+	case cfg.paramsSet:
+		return mr, fmt.Errorf("noc: WithParams is local-only; use the individual overrides (WithFrequencyMHz, WithSlotTableSize, ...)")
+	case cfg.workers != nil:
+		return mr, fmt.Errorf("noc: WithWorkers is local-only; the service sizes its own pool")
+	case cfg.restarts != nil:
+		return mr, fmt.Errorf("noc: WithRestarts is local-only; the service runs with its default restart count")
+	case strings.HasPrefix(cfg.topology, "@"):
+		return mr, fmt.Errorf("noc: custom fabrics (%s) carry their link lists and run locally; use Map instead", cfg.topology)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		return mr, err
+	}
+	mr.Design = json.RawMessage(buf.Bytes())
+	mr.Engine = cfg.engine
+	mr.Topology = cfg.topology
+	mr.Seed = cfg.seed
+	mr.Seeds = cfg.seeds
+	mr.Iters = cfg.iters
+	if cfg.budget != nil && *cfg.budget > 0 {
+		mr.Budget = cfg.budget.String()
+	}
+	mr.FreqMHz = cfg.freq
+	mr.Slots = cfg.slots
+	mr.MaxDim = cfg.maxDim
+	if cfg.improve != nil {
+		mr.Improve = *cfg.improve
+	}
+	return mr, nil
+}
+
+// Map sends the design to the daemon and waits for the result. The reply
+// reports whether it was served from the daemon's cache.
+func (c *Client) Map(ctx context.Context, d *Design, opts ...Option) (*MapResponse, error) {
+	mr, err := BuildMapRequest(d, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var resp MapResponse
+	if err := c.post(ctx, "/v1/map", mr, http.StatusOK, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Submit enqueues the design asynchronously and returns the job to poll
+// with Job.
+func (c *Client) Submit(ctx context.Context, d *Design, opts ...Option) (JobStatus, error) {
+	mr, err := BuildMapRequest(d, opts...)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	mr.Async = true
+	var st JobStatus
+	if err := c.post(ctx, "/v1/map", mr, http.StatusAccepted, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Job polls an asynchronous job's state.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	if err := c.get(ctx, "/v1/jobs/"+id, &st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// Batch maps many requests in one round trip on the daemon's shared pool;
+// results come back in request order. Build the requests with
+// BuildMapRequest.
+func (c *Client) Batch(ctx context.Context, reqs []MapRequest) ([]BatchResult, error) {
+	var out service.BatchResponse
+	if err := c.post(ctx, "/v1/batch", service.BatchRequest{Requests: reqs}, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Stats reads the daemon's cache and pool gauges.
+func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
+	var st ServerStats
+	err := c.get(ctx, "/v1/stats", &st)
+	return st, err
+}
+
+// Version reads the daemon's build identity.
+func (c *Client) Version(ctx context.Context) (VersionInfo, error) {
+	var v VersionInfo
+	err := c.get(ctx, "/v1/version", &v)
+	return v, err
+}
+
+func (c *Client) post(ctx context.Context, path string, body any, wantStatus int, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, wantStatus, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, http.StatusOK, out)
+}
+
+// do executes the request, mapping non-2xx replies to errors carrying the
+// server's diagnostic.
+func (c *Client) do(req *http.Request, wantStatus int, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("noc: %s %s: %w", req.Method, req.URL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("noc: server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("noc: server: HTTP %d on %s", resp.StatusCode, req.URL.Path)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("noc: decode %s reply: %w", req.URL.Path, err)
+	}
+	return nil
+}

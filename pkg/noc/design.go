@@ -1,0 +1,159 @@
+package noc
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"nocmap/internal/traffic"
+)
+
+// LoadDesign parses and validates a design from the JSON interchange format
+// (the format nocgen writes and the /v1 service accepts).
+func LoadDesign(r io.Reader) (*Design, error) { return traffic.ReadJSON(r) }
+
+// LoadDesignFile parses and validates a design from a JSON file.
+func LoadDesignFile(path string) (*Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("noc: open design: %w", err)
+	}
+	defer f.Close()
+	d, err := traffic.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("noc: parse design %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// NewFlow builds an unconstrained-latency flow from src to dst carrying
+// bandwidthMBs MB/s.
+func NewFlow(src, dst int, bandwidthMBs float64) Flow {
+	return Flow{Src: traffic.CoreID(src), Dst: traffic.CoreID(dst), BandwidthMBs: bandwidthMBs}
+}
+
+// NewConstrainedFlow builds a flow whose packets must arrive within
+// maxLatencyNS nanoseconds.
+func NewConstrainedFlow(src, dst int, bandwidthMBs, maxLatencyNS float64) Flow {
+	f := NewFlow(src, dst, bandwidthMBs)
+	f.MaxLatencyNS = maxLatencyNS
+	return f
+}
+
+// DesignBuilder constructs a Design incrementally with typed methods. All
+// methods record the first error and keep chaining; Build reports it (or
+// the design's own validation failure).
+//
+//	d, err := noc.NewDesign("player").
+//		Cores(4).
+//		AddUseCase("decode", noc.NewFlow(0, 1, 100), noc.NewFlow(1, 2, 75)).
+//		AddUseCase("record", noc.NewFlow(0, 3, 40)).
+//		Parallel("decode", "record").
+//		Build()
+type DesignBuilder struct {
+	d   Design
+	err error
+}
+
+// NewDesign starts a builder for a design with the given name.
+func NewDesign(name string) *DesignBuilder {
+	return &DesignBuilder{d: Design{Name: name}}
+}
+
+func (b *DesignBuilder) fail(format string, args ...any) *DesignBuilder {
+	if b.err == nil {
+		b.err = fmt.Errorf("noc: "+format, args...)
+	}
+	return b
+}
+
+// Cores declares n anonymous cores with dense IDs 0..n-1.
+func (b *DesignBuilder) Cores(n int) *DesignBuilder {
+	if len(b.d.Cores) > 0 {
+		return b.fail("design %q: cores already declared", b.d.Name)
+	}
+	if n <= 0 {
+		return b.fail("design %q: core count %d invalid", b.d.Name, n)
+	}
+	b.d.Cores = traffic.MakeCores(n)
+	return b
+}
+
+// NamedCores declares one core per name, with IDs in argument order.
+func (b *DesignBuilder) NamedCores(names ...string) *DesignBuilder {
+	if len(b.d.Cores) > 0 {
+		return b.fail("design %q: cores already declared", b.d.Name)
+	}
+	for i, name := range names {
+		b.d.Cores = append(b.d.Cores, Core{ID: traffic.CoreID(i), Name: name})
+	}
+	return b
+}
+
+// AddUseCase appends an application mode with the given flows.
+func (b *DesignBuilder) AddUseCase(name string, flows ...Flow) *DesignBuilder {
+	b.d.UseCases = append(b.d.UseCases, &UseCase{Name: name, Flows: flows})
+	return b
+}
+
+// useCaseIndex resolves a use-case name declared by an earlier AddUseCase.
+func (b *DesignBuilder) useCaseIndex(name string) (int, bool) {
+	for i, u := range b.d.UseCases {
+		if u.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Parallel declares that the named use-cases can run simultaneously; the
+// pre-processing phase generates a compound mode for the set.
+func (b *DesignBuilder) Parallel(useCases ...string) *DesignBuilder {
+	set := make([]int, 0, len(useCases))
+	for _, name := range useCases {
+		i, ok := b.useCaseIndex(name)
+		if !ok {
+			return b.fail("design %q: parallel set references unknown use-case %q", b.d.Name, name)
+		}
+		set = append(set, i)
+	}
+	b.d.ParallelSets = append(b.d.ParallelSets, set)
+	return b
+}
+
+// Smooth declares that switching between the two named use-cases must not
+// disrupt traffic: both are placed in one smooth-switching group and share
+// a NoC configuration.
+func (b *DesignBuilder) Smooth(a, c string) *DesignBuilder {
+	i, ok := b.useCaseIndex(a)
+	if !ok {
+		return b.fail("design %q: smooth pair references unknown use-case %q", b.d.Name, a)
+	}
+	j, ok := b.useCaseIndex(c)
+	if !ok {
+		return b.fail("design %q: smooth pair references unknown use-case %q", b.d.Name, c)
+	}
+	b.d.SmoothPairs = append(b.d.SmoothPairs, [2]int{i, j})
+	return b
+}
+
+// Topology tags the interconnect family the design targets: "mesh" (the
+// default when omitted) or "torus". The tag participates in the design's
+// canonical digest, so it travels with the design through the service cache.
+func (b *DesignBuilder) Topology(tag string) *DesignBuilder {
+	b.d.Topology = tag
+	return b
+}
+
+// Build validates and returns the design. The builder can keep being used;
+// Build snapshots nothing (the returned pointer shares the builder's state),
+// so finish building before mapping.
+func (b *DesignBuilder) Build() (*Design, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.d.Validate(); err != nil {
+		return nil, err
+	}
+	return &b.d, nil
+}

@@ -1,0 +1,84 @@
+package noc_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"nocmap/pkg/noc"
+)
+
+// ExampleMap embeds the complete methodology in a few lines: build a
+// design, map it, read the verdict.
+func ExampleMap() {
+	design, err := noc.NewDesign("fig5").
+		Cores(4).
+		AddUseCase("use-case-1",
+			noc.NewFlow(0, 1, 10), noc.NewFlow(1, 2, 75), noc.NewFlow(2, 3, 100)).
+		AddUseCase("use-case-2",
+			noc.NewFlow(2, 3, 42), noc.NewFlow(0, 2, 11), noc.NewFlow(1, 3, 52)).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := noc.Map(context.Background(), design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: %d violations\n", design.Name, res.Fabric(), len(res.Violations))
+	// Output:
+	// fig5 on 1x1 mesh (1 switches): 0 violations
+}
+
+// ExampleDesignBuilder declares parallel modes and smooth switching; the
+// pre-processing phase turns them into compound use-cases and shared
+// configuration groups.
+func ExampleDesignBuilder() {
+	design, err := noc.NewDesign("player").
+		NamedCores("cpu", "dsp", "display", "storage").
+		AddUseCase("decode", noc.NewFlow(0, 1, 120), noc.NewConstrainedFlow(1, 2, 80, 2000)).
+		AddUseCase("record", noc.NewFlow(0, 3, 40)).
+		Parallel("decode", "record").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep, err := noc.Prepare(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d use-cases (%d generated), %d groups\n",
+		len(prep.UseCases), len(prep.UseCases)-prep.NumOriginal, len(prep.Groups))
+	// Output:
+	// 3 use-cases (1 generated), 1 groups
+}
+
+// ExampleClient maps a design through a nocserved instance; a second
+// identical request is answered from the daemon's result cache.
+func ExampleClient() {
+	server := noc.NewServer(noc.ServerConfig{})
+	defer server.Close()
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	design, err := noc.NewDesign("remote").
+		Cores(4).
+		AddUseCase("a", noc.NewFlow(0, 1, 50), noc.NewFlow(2, 3, 20)).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client := noc.NewClient(ts.URL)
+	for i := 0; i < 2; i++ {
+		resp, err := client.Map(context.Background(), design, noc.WithEngine("greedy"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("switches=%d cached=%v\n", resp.Result.Switches, resp.Cached)
+	}
+	// Output:
+	// switches=1 cached=false
+	// switches=1 cached=true
+}

@@ -1,0 +1,67 @@
+package noc
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"nocmap/internal/search"
+	"nocmap/internal/service"
+	"nocmap/internal/topology"
+	"nocmap/internal/usecase"
+)
+
+// Map runs the full pipeline on the design in-process: pre-processing,
+// the selected search engine, analytic verification and summarization.
+// The context bounds the whole search; engines observe cancellation
+// between evaluation steps. Verification failures do not error — they are
+// reported in Result.Violations so callers can inspect the mapping.
+//
+//	res, err := noc.Map(ctx, design,
+//		noc.WithEngine("portfolio"),
+//		noc.WithSeed(42),
+//		noc.WithBudget(30*time.Second))
+func Map(ctx context.Context, d *Design, opts ...Option) (*Result, error) {
+	cfg := newConfig(opts)
+	eng, err := search.New(cfg.engine)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := ResolveTopology(cfg.topology, d)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		return nil, err
+	}
+	p := cfg.params
+	p.Topology = spec
+	res, err := eng.Search(ctx, prep, d.NumCores(), p, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Summary: service.SummarizeResult(d.Name, prep, res),
+		engine:  cfg.engine,
+		mapping: res.Mapping,
+		prep:    prep,
+	}, nil
+}
+
+// ResolveTopology turns a topology argument — "mesh", "torus",
+// "@fabric.json", or "" meaning "whatever the design's own tag says" —
+// into a buildable spec. A design tagged with a custom fabric cannot be
+// resolved from the tag alone (the tag is a digest, not the link list), so
+// the fabric file must be passed explicitly.
+func ResolveTopology(arg string, d *Design) (topology.Spec, error) {
+	if arg == "" {
+		tag := d.Topology
+		if strings.HasPrefix(tag, "custom:") {
+			return topology.Spec{}, fmt.Errorf(
+				"noc: design %q targets a custom fabric (%s); pass its description with WithTopology(\"@fabric.json\")", d.Name, tag)
+		}
+		arg = tag
+	}
+	return topology.ParseSpec(arg)
+}
