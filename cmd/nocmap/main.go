@@ -132,8 +132,14 @@ func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64,
 		noc.WithImprove(improve),
 	}
 	if progress {
+		mapStart := time.Now()
 		opts = append(opts, noc.WithProgress(func(e noc.Event) {
-			fmt.Fprintf(stderr, "progress: %s %s %s cost=%.1f\n", e.Engine, e.Stage, e.Dim, e.Cost)
+			line := fmt.Sprintf("progress: [+%.3fs] %s %s %s cost=%.1f",
+				time.Since(mapStart).Seconds(), e.Engine, e.Stage, e.Dim, e.Cost)
+			if e.Moves > 0 {
+				line += fmt.Sprintf(" moves=%d accepted=%d", e.Moves, e.Accepted)
+			}
+			fmt.Fprintln(stderr, line)
 		}))
 	}
 	res, err := noc.Map(context.Background(), d, opts...)

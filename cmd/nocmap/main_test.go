@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -79,6 +80,31 @@ func TestRunMapsMeshAndTorus(t *testing.T) {
 		if !strings.Contains(stdout, "verification: all invariants hold") {
 			t.Errorf("-topology %q: stdout %q lacks verification line", topo, stdout)
 		}
+	}
+}
+
+func TestRunProgressPrefixesElapsedTime(t *testing.T) {
+	code, _, stderr := runCapture(t, "-in", designFile(t), "-engine", "anneal", "-seed", "2", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+	elapsed := regexp.MustCompile(`^progress: \[\+\d+\.\d{3}s\] `)
+	lines := 0
+	for _, line := range strings.Split(stderr, "\n") {
+		if !strings.HasPrefix(line, "progress:") {
+			continue
+		}
+		lines++
+		if !elapsed.MatchString(line) {
+			t.Errorf("progress line %q lacks elapsed-time prefix", line)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("no progress lines on stderr")
+	}
+	// The annealer's final event carries cumulative move counters.
+	if !regexp.MustCompile(`done .*moves=\d+ accepted=\d+`).MatchString(stderr) {
+		t.Errorf("stderr %q lacks move counters on the done event", stderr)
 	}
 }
 

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	nocserved [-addr :8080] [-workers 8] [-queue 64] [-cache 128]
-//	          [-timeout 0]
+//	          [-timeout 0] [-log-format text|json] [-log-level info]
+//	          [-pprof]
 //
 // Endpoints (versioned surface, see docs/cli.md for schemas):
 //
@@ -14,8 +15,12 @@
 //	POST /v1/batch     map many designs in one call
 //	GET  /v1/jobs/{id} poll an async job
 //	GET  /v1/stats     cache and pool gauges
+//	GET  /v1/metrics   Prometheus text exposition
 //	GET  /v1/version   build identity
-//	GET  /healthz      liveness + version
+//	GET  /healthz      liveness + version + uptime
+//
+// With -pprof the net/http/pprof profiling handlers are mounted under
+// /debug/pprof/ on the same listener; leave it off in untrusted networks.
 //
 // The pre-/v1 routes remain mounted as deprecated aliases. The request body
 // of /v1/map embeds a design in the standard interchange format under
@@ -27,7 +32,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,21 +44,66 @@ import (
 	"nocmap/pkg/noc"
 )
 
+// buildLogger constructs the daemon's structured logger from the -log-format
+// and -log-level flags. Unknown values fall back to text/info rather than
+// failing startup — a misspelled level should not take the service down.
+func buildLogger(w io.Writer, format, level string) *slog.Logger {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ alongside
+// the service surface. Registration is explicit (not the package's implicit
+// http.DefaultServeMux side effect) so profiling is opt-in per listener.
+func withPprof(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "engine-run workers (0 = one per CPU)")
 	queue := flag.Int("queue", 64, "bounded job-queue depth (backpressure beyond this)")
 	cacheEntries := flag.Int("cache", 128, "result-cache entries (LRU)")
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
+	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
+	logger := buildLogger(os.Stderr, *logFormat, *logLevel)
 	server := noc.NewServer(noc.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
+		Logger:         logger,
 	})
-	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	handler := server.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	done := make(chan struct{})
 	go func() {
@@ -58,12 +111,13 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		fmt.Fprintln(os.Stderr, "nocserved: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain before Close
 	}()
 
+	logger.Info("listening", "addr", *addr, "version", fmt.Sprint(noc.Version()), "pprof", *pprofOn)
 	fmt.Printf("nocserved %s: listening on %s (API /v1)\n", noc.Version(), *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "nocserved:", err)

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nocmap/pkg/noc"
+)
+
+func TestBuildLoggerFormats(t *testing.T) {
+	var b strings.Builder
+	buildLogger(&b, "json", "info").Info("hello", "k", "v")
+	if got := b.String(); !strings.HasPrefix(got, "{") || !strings.Contains(got, `"k":"v"`) {
+		t.Errorf("json logger output %q is not JSON", got)
+	}
+
+	b.Reset()
+	buildLogger(&b, "text", "info").Info("hello", "k", "v")
+	if got := b.String(); strings.HasPrefix(got, "{") || !strings.Contains(got, "k=v") {
+		t.Errorf("text logger output %q is not logfmt text", got)
+	}
+}
+
+func TestBuildLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	log := buildLogger(&b, "text", "warn")
+	log.Info("quiet")
+	if b.Len() != 0 {
+		t.Errorf("info line %q leaked past -log-level warn", b.String())
+	}
+	log.Warn("loud")
+	if !strings.Contains(b.String(), "loud") {
+		t.Errorf("warn line missing from output %q", b.String())
+	}
+
+	// Unknown level falls back to info rather than failing startup.
+	b.Reset()
+	buildLogger(&b, "text", "verbose").Info("still here")
+	if !strings.Contains(b.String(), "still here") {
+		t.Errorf("fallback level dropped info output %q", b.String())
+	}
+}
+
+func TestWithPprofMountsProfilesAndKeepsService(t *testing.T) {
+	server := noc.NewServer(noc.ServerConfig{Workers: 1})
+	defer server.Close()
+	ts := httptest.NewServer(withPprof(server.Handler()))
+	defer ts.Close()
+
+	for path, want := range map[string]int{
+		"/debug/pprof/":       http.StatusOK,
+		"/debug/pprof/symbol": http.StatusOK,
+		"/healthz":            http.StatusOK,
+		"/v1/metrics":         http.StatusOK,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}

@@ -66,7 +66,7 @@ func (an Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores in
 		evals: evals,
 	}
 	a.run(ctx, base)
-	opts.emit(an.Name(), StageDone, a.best)
+	opts.emitCounts(an.Name(), StageDone, a.best, a.counts)
 	return a.best, nil
 }
 
@@ -82,6 +82,9 @@ type annealer struct {
 
 	best     *core.Result
 	bestCost float64
+	// counts accumulate the run's search effort; every emitted event carries
+	// the totals so far, so observers need no hook into the move loop.
+	counts Counts
 }
 
 // run anneals the greedy solution in place, then probes every smaller mesh
@@ -159,6 +162,7 @@ func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached
 		if ctx.Err() != nil {
 			return nil
 		}
+		a.counts.Restarts++
 		a.rng.Shuffle(len(seats), func(i, j int) { seats[i], seats[j] = seats[j], seats[i] })
 		cs := make([]int, a.numCores)
 		cn := make([]int, a.numCores)
@@ -212,6 +216,7 @@ func (a *annealer) annealFrom(ctx context.Context, start *core.Result) {
 		if ctx.Err() != nil {
 			return
 		}
+		a.counts.Moves++
 		stats, ok := a.propose(sess, numNIs, attached)
 		if !ok {
 			temp *= alpha
@@ -221,6 +226,7 @@ func (a *annealer) annealFrom(ctx context.Context, start *core.Result) {
 		delta := candCost - curCost
 		if delta <= 0 || a.rng.Float64() < math.Exp(-delta/temp) {
 			sess.Keep()
+			a.counts.Accepted++
 			curCost = candCost
 			if candCost < a.bestCost-1e-12 {
 				a.consider(sess.Result())
@@ -301,7 +307,7 @@ func (a *annealer) propose(sess *core.Session, numNIs int, attached []int) (core
 func (a *annealer) consider(r *core.Result) {
 	if c := a.opts.Weights.Of(r); c < a.bestCost-1e-12 {
 		a.best, a.bestCost = r, c
-		a.opts.emit("anneal", StageImproved, r)
+		a.opts.emitCounts("anneal", StageImproved, r, a.counts)
 	}
 }
 

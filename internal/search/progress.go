@@ -44,11 +44,31 @@ type Event struct {
 	Cost float64 `json:"cost"`
 	// Stats are the candidate's load statistics.
 	Stats core.Stats `json:"stats"`
+	// Counts are the emitting engine's cumulative search-effort counters at
+	// the time of the event; deterministic engines report zeros. They ride
+	// on the events so observers (the service's metrics layer, the CLI) see
+	// search effort without any engine-side hook beyond this plumbing.
+	Counts
+}
+
+// Counts are cumulative search-effort counters for one engine run: candidate
+// placements evaluated (Moves), candidates kept by the acceptance rule
+// (Accepted), and random-restart placements probed on shrunk fabrics
+// (Restarts).
+type Counts struct {
+	Moves    int64 `json:"moves,omitempty"`
+	Accepted int64 `json:"accepted,omitempty"`
+	Restarts int64 `json:"restarts,omitempty"`
 }
 
 // emit delivers an event for the given result when a progress callback is
 // configured.
 func (o Options) emit(engine string, stage Stage, r *core.Result) {
+	o.emitCounts(engine, stage, r, Counts{})
+}
+
+// emitCounts is emit with the engine's cumulative effort counters attached.
+func (o Options) emitCounts(engine string, stage Stage, r *core.Result, c Counts) {
 	if o.Progress == nil || r == nil {
 		return
 	}
@@ -60,6 +80,7 @@ func (o Options) emit(engine string, stage Stage, r *core.Result) {
 		Dim:      r.Dim().String(),
 		Cost:     o.Weights.Of(r),
 		Stats:    r.Stats,
+		Counts:   c,
 	})
 }
 

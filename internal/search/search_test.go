@@ -393,3 +393,50 @@ func TestPortfolioWorkersClamped(t *testing.T) {
 		t.Errorf("seeds=0 portfolio returned %+v, want the greedy result %+v", res.Stats, greedy.Stats)
 	}
 }
+
+// TestAnnealProgressCounts: the annealer's progress events carry cumulative
+// move counters — monotone across events, final totals on StageDone, and
+// identical across runs with the same seed.
+func TestAnnealProgressCounts(t *testing.T) {
+	prep, n := d1(t)
+	p := core.DefaultParams()
+	run := func() []Event {
+		var events []Event
+		opts := DefaultOptions()
+		opts.Seed = 2
+		opts.Progress = func(e Event) { events = append(events, e) }
+		if _, err := (Anneal{}).Search(context.Background(), prep, n, p, opts); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	events := run()
+
+	var prev Counts
+	var done *Event
+	for i := range events {
+		e := events[i]
+		if e.Moves < prev.Moves || e.Accepted < prev.Accepted || e.Restarts < prev.Restarts {
+			t.Fatalf("counts went backwards at event %d: %+v after %+v", i, e.Counts, prev)
+		}
+		prev = e.Counts
+		if e.Stage == StageDone {
+			done = &events[i]
+		}
+	}
+	if done == nil {
+		t.Fatal("no StageDone event")
+	}
+	if done.Moves <= 0 || done.Accepted <= 0 {
+		t.Fatalf("final counts %+v should show moves and acceptances", done.Counts)
+	}
+	if done.Accepted > done.Moves {
+		t.Fatalf("accepted %d exceeds moves tried %d", done.Accepted, done.Moves)
+	}
+
+	again := run()
+	if len(again) != len(events) || again[len(again)-1].Counts != *(&done.Counts) {
+		t.Fatalf("counts not reproducible under fixed seed: %+v vs %+v",
+			again[len(again)-1].Counts, done.Counts)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -136,26 +137,56 @@ type BatchResult struct {
 //	POST /v1/batch     — map many designs in one call on the shared pool
 //	GET  /v1/jobs/{id} — job state (queued|running|done|failed) and result
 //	GET  /v1/stats     — cache hit/miss counters and pool gauges
+//	GET  /v1/metrics   — Prometheus text exposition of the service metrics
 //	GET  /v1/version   — build identity (module version, VCS revision)
-//	GET  /healthz      — liveness plus build version (unversioned on purpose:
-//	                     probe configs outlive API revisions)
+//	GET  /healthz      — liveness, build version, uptime (unversioned on
+//	                     purpose: probe configs outlive API revisions)
+//
+// Every route runs behind the observability middleware: the request is
+// tagged with an X-Request-ID (caller-supplied or generated, echoed on the
+// response and stamped into job records), counted in
+// noc_http_requests_total{route,status}, timed into
+// noc_http_request_duration_seconds{route}, and logged structurally.
 //
 // The pre-/v1 routes (POST /map, POST /batch, GET /jobs/{id}, GET /stats)
 // remain mounted as thin deprecated aliases of their /v1 equivalents; they
-// answer identically but carry a Deprecation header and a Link to the
-// successor route.
+// answer identically (and count under their /v1 route label) but carry a
+// Deprecation header and a Link to the successor route.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
+	// instrument wraps a handler with the observability middleware. route is
+	// the canonical pattern ("/v1/jobs/{id}"), not the concrete path, so
+	// metric cardinality stays bounded.
+	instrument := func(route string, h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			id := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+			if id == "" {
+				id = NewRequestID()
+			}
+			w.Header().Set("X-Request-ID", id)
+			r = r.WithContext(ContextWithRequestID(r.Context(), id))
+			rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+			h(rec, r)
+			elapsed := time.Since(start)
+			s.met.httpRequests.WithLabelValues(route, strconv.Itoa(rec.status)).Inc()
+			s.met.httpSeconds.WithLabelValues(route).Observe(elapsed.Seconds())
+			s.log.Info("http request", "request_id", id, "method", r.Method,
+				"route", route, "path", r.URL.Path, "status", rec.status,
+				"duration_ms", ms(elapsed))
+		}
+	}
 	// handle mounts one route at its /v1 home and as a deprecated legacy
 	// alias at the original unversioned path. The Link header names the
 	// request's actual successor URL (path parameters substituted), so
 	// following it lands on the equivalent /v1 resource.
 	handle := func(method, path string, h http.HandlerFunc) {
-		mux.HandleFunc(method+" /v1"+path, h)
+		ih := instrument("/v1"+path, h)
+		mux.HandleFunc(method+" /v1"+path, ih)
 		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", "</v1"+r.URL.Path+">; rel=\"successor-version\"")
-			h(w, r)
+			ih(w, r)
 		})
 	}
 
@@ -170,6 +201,7 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		req.RequestID = RequestIDFrom(r.Context())
 		if mr.Async {
 			id, err := s.Submit(req)
 			if err != nil {
@@ -205,6 +237,7 @@ func NewHandler(s *Service) http.Handler {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
 				return
 			}
+			req.RequestID = RequestIDFrom(r.Context())
 			reqs[i] = req
 		}
 		items := s.MapBatch(r.Context(), reqs)
@@ -231,21 +264,49 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 
-	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/version", instrument("/v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, BuildVersion())
-	})
+	}))
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthResponse{OK: true, Version: BuildVersion()})
-	})
+	metricsHandler := s.Metrics().Handler()
+	mux.HandleFunc("GET /v1/metrics", instrument("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metricsHandler.ServeHTTP(w, r)
+	}))
+
+	mux.HandleFunc("GET /healthz", instrument("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthResponse{
+			OK:            true,
+			Version:       BuildVersion(),
+			StartedAt:     startedAt.UTC().Format(time.RFC3339),
+			UptimeSeconds: time.Since(startedAt).Seconds(),
+		})
+	}))
 
 	return mux
 }
 
-// healthResponse is the GET /healthz body: liveness plus build identity.
+// healthResponse is the GET /healthz body: liveness, build identity, and the
+// process start/uptime pair that tells a fresh restart from a long-running
+// healthy daemon.
 type healthResponse struct {
 	OK      bool        `json:"ok"`
 	Version VersionInfo `json:"version"`
+	// StartedAt is the process start time, RFC 3339 UTC.
+	StartedAt string `json:"started_at"`
+	// UptimeSeconds is the seconds elapsed since StartedAt.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// statusRecorder captures the status code a handler writes so the middleware
+// can label metrics and logs with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
 }
 
 // statusOf maps service errors to HTTP status codes. Unrecognized errors map

@@ -28,18 +28,23 @@ func (c *lruCache) get(key string) (*Response, bool) {
 	return el.Value.(*lruEntry).resp, true
 }
 
-func (c *lruCache) put(key string, resp *Response) {
+// put inserts or refreshes an entry and returns how many older entries were
+// evicted to stay within capacity.
+func (c *lruCache) put(key string, resp *Response) int {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).resp = resp
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, resp: resp})
+	evicted := 0
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *lruCache) len() int { return c.order.Len() }

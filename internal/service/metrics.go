@@ -1,0 +1,128 @@
+package service
+
+import (
+	"time"
+
+	"nocmap/internal/metrics"
+	"nocmap/internal/search"
+)
+
+// startedAt is the process start (package-load) instant: the anchor of the
+// /healthz uptime report and the noc_uptime_seconds gauge, which is how a
+// load balancer or a human tells a fresh restart from a long-lived healthy
+// daemon.
+var startedAt = time.Now()
+
+// Timings breaks one mapping run's wall clock into pipeline stages, in
+// milliseconds: time spent waiting for a worker (zero for in-process SDK
+// runs), pre-processing the use-cases, running the search engine, and
+// summarizing/verifying the result. Total covers prepare through summarize.
+// On a cache hit the response carries the original run's timings.
+type Timings struct {
+	QueueMS     float64 `json:"queue_ms,omitempty"`
+	PrepareMS   float64 `json:"prepare_ms"`
+	SearchMS    float64 `json:"search_ms"`
+	SummarizeMS float64 `json:"summarize_ms"`
+	TotalMS     float64 `json:"total_ms"`
+}
+
+// ms converts a duration for a Timings field.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// serviceMetrics is the service's registered instrument set. Counter writes
+// are single atomic adds, so the job pipeline's hot path pays nothing
+// measurable; the pool and cache gauges read live service state at scrape
+// time under the service mutex.
+type serviceMetrics struct {
+	reg *metrics.Registry
+
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	cacheEvictions *metrics.Counter
+	dedupJoins     *metrics.Counter
+
+	jobs          *metrics.CounterVec   // by terminal status: done | failed
+	engineSeconds *metrics.HistogramVec // end-to-end engine-run latency by engine
+
+	httpRequests *metrics.CounterVec   // by route and status
+	httpSeconds  *metrics.HistogramVec // handler latency by route
+
+	searchImprovements *metrics.CounterVec // incumbent improvements by engine
+	searchMoves        *metrics.CounterVec // moves tried by engine
+	searchAccepted     *metrics.CounterVec // moves accepted by engine
+	searchRestarts     *metrics.CounterVec // shrink-probe restarts by engine
+}
+
+// newServiceMetrics registers the service's metric families on reg. The
+// gauges close over s, so one registry backs at most one Service.
+func newServiceMetrics(reg *metrics.Registry, s *Service) *serviceMetrics {
+	m := &serviceMetrics{
+		reg: reg,
+
+		cacheHits:      reg.Counter("noc_cache_hits_total", "Requests answered from the result cache."),
+		cacheMisses:    reg.Counter("noc_cache_misses_total", "Requests that started a new engine run."),
+		cacheEvictions: reg.Counter("noc_cache_evictions_total", "Results evicted from the LRU result cache."),
+		dedupJoins:     reg.Counter("noc_dedup_joins_total", "Requests that joined an identical in-flight run (single-flight)."),
+
+		jobs: reg.CounterVec("noc_jobs_total", "Finished jobs by terminal status.", "status"),
+		engineSeconds: reg.HistogramVec("noc_engine_duration_seconds",
+			"End-to-end engine-run latency (prepare through summarize) by engine.", nil, "engine"),
+
+		httpRequests: reg.CounterVec("noc_http_requests_total", "HTTP requests by route and status.", "route", "status"),
+		httpSeconds: reg.HistogramVec("noc_http_request_duration_seconds",
+			"HTTP handler latency by route.", nil, "route"),
+
+		searchImprovements: reg.CounterVec("noc_search_improvements_total",
+			"Strict incumbent improvements streamed by the engines.", "engine"),
+		searchMoves: reg.CounterVec("noc_search_moves_total",
+			"Annealing moves tried, from the engines' progress counters.", "engine"),
+		searchAccepted: reg.CounterVec("noc_search_moves_accepted_total",
+			"Annealing moves accepted, from the engines' progress counters.", "engine"),
+		searchRestarts: reg.CounterVec("noc_search_restarts_total",
+			"Random-restart placements probed on shrunk fabrics, by engine.", "engine"),
+	}
+
+	reg.GaugeFunc("noc_uptime_seconds", "Seconds since process start.",
+		func() float64 { return time.Since(startedAt).Seconds() })
+	reg.GaugeFunc("noc_workers", "Engine-run worker goroutines.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("noc_queue_capacity", "Bounded job-queue capacity (backpressure beyond it).",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	reg.GaugeFunc("noc_queue_length", "Jobs waiting for a worker.",
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("noc_jobs_running", "Jobs currently executing on a worker.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.running)
+		})
+	reg.GaugeFunc("noc_cache_entries", "Results resident in the LRU cache.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.cache.len())
+		})
+	return m
+}
+
+// progressTap wraps a job's progress callback so every engine event also
+// feeds the search metrics: one improvement count per StageImproved, and the
+// run's cumulative move/accept/restart totals folded in at StageDone (the
+// portfolio's member annealers each emit their own StageDone, so a portfolio
+// run's totals land under engine="anneal", where the work happened). The
+// caller's own callback, when present, still runs after the tap.
+func (m *serviceMetrics) progressTap(next func(search.Event)) func(search.Event) {
+	return func(e search.Event) {
+		switch e.Stage {
+		case search.StageImproved:
+			m.searchImprovements.WithLabelValues(e.Engine).Inc()
+		case search.StageDone:
+			m.searchMoves.WithLabelValues(e.Engine).Add(e.Moves)
+			m.searchAccepted.WithLabelValues(e.Engine).Add(e.Accepted)
+			m.searchRestarts.WithLabelValues(e.Engine).Add(e.Restarts)
+		}
+		if next != nil {
+			next(e)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"nocmap/internal/traffic"
+)
+
+// scrapeMetrics GETs /v1/metrics and returns the exposition body.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q is not Prometheus text 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts one sample ("name" includes any label set, verbatim)
+// from an exposition body; missing samples fail the test.
+func metricValue(t *testing.T, body, name string) string {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			return v
+		}
+	}
+	t.Fatalf("metric %q not found in exposition:\n%s", name, body)
+	return ""
+}
+
+func wantMetric(t *testing.T, body, name, want string) {
+	t.Helper()
+	if got := metricValue(t, body, name); got != want {
+		t.Errorf("%s = %s, want %s", name, got, want)
+	}
+}
+
+func designJSON(t *testing.T, d *traffic.Design) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMetricsEndToEnd drives the service through a map, a cache hit, and a
+// deduplicated batch over HTTP and asserts the exact counter deltas on
+// /v1/metrics. CacheEntries=1 additionally forces an observable eviction.
+// When METRICS_SNAPSHOT_FILE is set the final scrape is written there, which
+// CI lints for naming conventions and uploads as a build artifact.
+func TestMetricsEndToEnd(t *testing.T) {
+	gate := make(chan struct{})
+	registerGate("gate-metrics", gate)
+	s := New(Config{Workers: 2, CacheEntries: 1})
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	cold := scrapeMetrics(t, ts.URL)
+	wantMetric(t, cold, "noc_cache_hits_total", "0")
+	wantMetric(t, cold, "noc_cache_misses_total", "0")
+	wantMetric(t, cold, "noc_cache_evictions_total", "0")
+	wantMetric(t, cold, "noc_dedup_joins_total", "0")
+	wantMetric(t, cold, "noc_queue_capacity", "64")
+	wantMetric(t, cold, "noc_workers", "2")
+
+	// One miss, then one hit on the identical request.
+	mapReq := MapRequest{Design: designJSON(t, testDesign("metrics-d")), Engine: "greedy"}
+	for range 2 {
+		resp, body := postJSON(t, ts.URL+"/v1/map", mapReq)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/map = %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	// Three identical gated requests in one batch: admission is serialized
+	// under the service mutex and no run can finish while the gate is open,
+	// so exactly one misses and two join the in-flight run.
+	batch := BatchRequest{Requests: make([]MapRequest, 3)}
+	for i := range batch.Requests {
+		batch.Requests[i] = MapRequest{Design: designJSON(t, testDesign("metrics-gated")), Engine: "gate-metrics"}
+	}
+	batchDone := make(chan struct{})
+	go func() {
+		defer close(batchDone)
+		resp, body := postJSON(t, ts.URL+"/v1/batch", batch)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("POST /v1/batch = %d: %s", resp.StatusCode, body)
+		}
+	}()
+	waitFor(t, "two dedup joins", func() bool {
+		return s.Stats().Deduped == 2
+	})
+	close(gate)
+	<-batchDone
+
+	final := scrapeMetrics(t, ts.URL)
+	wantMetric(t, final, "noc_cache_hits_total", "1")
+	wantMetric(t, final, "noc_cache_misses_total", "2")
+	wantMetric(t, final, "noc_dedup_joins_total", "2")
+	// The gated result landed in the 1-entry cache, evicting the greedy one.
+	wantMetric(t, final, "noc_cache_evictions_total", "1")
+	wantMetric(t, final, "noc_cache_entries", "1")
+	wantMetric(t, final, `noc_jobs_total{status="done"}`, "2")
+	wantMetric(t, final, `noc_engine_duration_seconds_count{engine="greedy"}`, "1")
+	wantMetric(t, final, `noc_engine_duration_seconds_count{engine="gate-metrics"}`, "1")
+	wantMetric(t, final, `noc_http_requests_total{route="/v1/map",status="200"}`, "2")
+	wantMetric(t, final, `noc_http_requests_total{route="/v1/batch",status="200"}`, "1")
+	if v := metricValue(t, final, `noc_http_request_duration_seconds_count{route="/v1/map"}`); v != "2" {
+		t.Errorf("map route histogram count = %s, want 2", v)
+	}
+	if v := metricValue(t, final, "noc_uptime_seconds"); v == "0" {
+		t.Errorf("noc_uptime_seconds = %s, want > 0", v)
+	}
+
+	if path := os.Getenv("METRICS_SNAPSHOT_FILE"); path != "" {
+		if err := os.WriteFile(path, []byte(final), 0o644); err != nil {
+			t.Fatalf("write metrics snapshot: %v", err)
+		}
+		t.Logf("metrics snapshot written to %s", path)
+	}
+}
+
+// TestMetricsSearchCounters maps with the real annealer through the service
+// and checks the progress-event tap feeds the search counter families.
+func TestMetricsSearchCounters(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	seed := int64(2)
+	resp, body := postJSON(t, ts.URL+"/v1/map", MapRequest{
+		Design: designJSON(t, testDesign("metrics-anneal")), Engine: "anneal", Seed: &seed,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/map = %d: %s", resp.StatusCode, body)
+	}
+
+	out := scrapeMetrics(t, ts.URL)
+	for _, name := range []string{
+		`noc_search_moves_total{engine="anneal"}`,
+		`noc_search_moves_accepted_total{engine="anneal"}`,
+	} {
+		if v := metricValue(t, out, name); v == "0" {
+			t.Errorf("%s = 0, want > 0 after an anneal run", name)
+		}
+	}
+}
+
+// TestMetricsTimingsOnResponse checks the per-stage timing breakdown rides
+// the response envelope for fresh runs and survives cache hits.
+func TestMetricsTimingsOnResponse(t *testing.T) {
+	s := New(Config{Workers: 1})
+	t.Cleanup(s.Close)
+
+	for i, cached := range []bool{false, true} {
+		resp, err := s.Map(t.Context(), testRequest("greedy", testDesign("timings-d")))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Cached != cached {
+			t.Errorf("call %d: Cached = %v, want %v", i, resp.Cached, cached)
+		}
+		if resp.Timings == nil {
+			t.Fatalf("call %d: response has no timings", i)
+		}
+		if resp.Timings.TotalMS <= 0 {
+			t.Errorf("call %d: TotalMS = %v, want > 0", i, resp.Timings.TotalMS)
+		}
+		if resp.Timings.SearchMS > resp.Timings.TotalMS {
+			t.Errorf("call %d: SearchMS %v exceeds TotalMS %v", i, resp.Timings.SearchMS, resp.Timings.TotalMS)
+		}
+	}
+}
+
+// TestMetricsConcurrentJobsAndScrapes hammers the shared registry from
+// concurrent jobs, HTTP requests and scrapes; run under -race it proves the
+// instrumentation adds no data races.
+func TestMetricsConcurrentJobsAndScrapes(t *testing.T) {
+	s := New(Config{Workers: 4})
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	var wg sync.WaitGroup
+	for i := range 8 {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// Distinct designs force real runs; repeats hit the cache.
+			d := testDesign(fmt.Sprintf("race-%d", i%4))
+			resp, body := postJSON(t, ts.URL+"/v1/map", MapRequest{Design: designJSON(t, d), Engine: "greedy"})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("POST /v1/map = %d: %s", resp.StatusCode, body)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			scrapeMetrics(t, ts.URL)
+		}()
+	}
+	wg.Wait()
+
+	out := scrapeMetrics(t, ts.URL)
+	if v := metricValue(t, out, "noc_cache_misses_total"); v == "0" {
+		t.Error("no cache misses recorded after 8 concurrent maps")
+	}
+}

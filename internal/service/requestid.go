@@ -1,0 +1,62 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// Request IDs tie one mapping request's trail together: the HTTP layer
+// accepts a caller-supplied X-Request-ID (or generates one), echoes it on
+// the response, stamps it into the job record, and every structured log line
+// the request touches — admission, queueing, engine stages, cache write —
+// carries it. A slow mapping is then traceable end to end with one grep.
+
+// ctxKey keeps the context key private to the package.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// NewRequestID returns a fresh 16-hex-digit random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	rand.Read(b[:]) //nolint:errcheck // crypto/rand.Read never fails post-Go 1.24
+	return hex.EncodeToString(b[:])
+}
+
+// ContextWithRequestID returns a context tagged with the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "" when untagged.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// maxRequestIDLen bounds accepted caller-supplied IDs: long enough for any
+// UUID or trace-context format, short enough that a hostile header cannot
+// bloat logs and job records.
+const maxRequestIDLen = 128
+
+// sanitizeRequestID validates a caller-supplied X-Request-ID value. IDs that
+// are empty, over-long or contain non-printable characters are rejected (the
+// caller then generates a fresh one) so log lines and response headers can
+// never carry control bytes.
+func sanitizeRequestID(id string) string {
+	id = strings.TrimSpace(id)
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for _, r := range id {
+		if r < 0x21 || r > 0x7e { // printable non-space ASCII only
+			return ""
+		}
+	}
+	return id
+}

@@ -1,0 +1,146 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var hexID = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestNewRequestIDShape(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if !hexID.MatchString(a) || !hexID.MatchString(b) {
+		t.Errorf("IDs %q, %q are not 16 hex digits", a, b)
+	}
+	if a == b {
+		t.Errorf("two fresh IDs collided: %q", a)
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc-123":                     "abc-123",
+		"  padded  ":                  "padded",
+		"":                            "",
+		"has space":                   "",
+		"ctrl\x01byte":                "",
+		"uniécode":                    "",
+		strings.Repeat("x", 129):      "",
+		strings.Repeat("y", 128):      strings.Repeat("y", 128),
+		"0f3a9b2c-uuid-ish_OK.v2:tag": "0f3a9b2c-uuid-ish_OK.v2:tag",
+	} {
+		if got := sanitizeRequestID(in); got != want {
+			t.Errorf("sanitizeRequestID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRequestIDEchoedOnResponses(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// A caller-supplied well-formed ID is echoed verbatim.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Errorf("echoed ID = %q, want trace-me-42", got)
+	}
+
+	// No header (and a malformed one) gets a generated hex ID instead.
+	for _, supplied := range []string{"", "bad id with spaces"} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if supplied != "" {
+			req.Header.Set("X-Request-ID", supplied)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got := resp.Header.Get("X-Request-ID"); !hexID.MatchString(got) {
+			t.Errorf("supplied %q: response ID %q is not a generated hex ID", supplied, got)
+		}
+	}
+}
+
+func TestRequestIDOnAsyncJob(t *testing.T) {
+	ts, s := newTestServer(t)
+
+	body, err := json.Marshal(MapRequest{Design: d1JSON(t), Engine: "greedy", Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/map", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", "job-trace-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST /v1/map = %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.RequestID != "job-trace-7" {
+		t.Errorf("202 JobStatus.RequestID = %q, want job-trace-7", st.RequestID)
+	}
+
+	waitFor(t, "job completion", func() bool {
+		got, ok := s.Job(st.ID)
+		return ok && got.State == StateDone
+	})
+	var done JobStatus
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &done); code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/{id} = %d", code)
+	}
+	if done.RequestID != "job-trace-7" {
+		t.Errorf("polled JobStatus.RequestID = %q, want job-trace-7", done.RequestID)
+	}
+}
+
+func TestHealthzReportsUptime(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var h struct {
+		OK            bool    `json:"ok"`
+		StartedAt     string  `json:"started_at"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", code)
+	}
+	if !h.OK {
+		t.Error("healthz reports ok=false")
+	}
+	started, err := time.Parse(time.RFC3339, h.StartedAt)
+	if err != nil {
+		t.Errorf("started_at %q is not RFC3339: %v", h.StartedAt, err)
+	} else if started.After(time.Now()) {
+		t.Errorf("started_at %v is in the future", started)
+	}
+	if h.UptimeSeconds <= 0 {
+		t.Errorf("uptime_seconds = %v, want > 0", h.UptimeSeconds)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strconv"
 	"sync"
@@ -36,6 +37,7 @@ import (
 
 	"nocmap/internal/area"
 	"nocmap/internal/core"
+	"nocmap/internal/metrics"
 	"nocmap/internal/power"
 	"nocmap/internal/search"
 	"nocmap/internal/traffic"
@@ -67,6 +69,14 @@ type Config struct {
 	// RetainJobs bounds how many finished jobs stay queryable by ID before
 	// the oldest are forgotten (default 1024). The result cache is unaffected.
 	RetainJobs int
+	// Logger receives the service's structured request/job trail (slog).
+	// Every line a request touches carries its request_id. Nil discards.
+	Logger *slog.Logger
+	// Metrics is the registry the service instruments (served at
+	// GET /v1/metrics). Nil creates a private one, readable via
+	// Service.Metrics. The service registers its families at construction,
+	// so one registry backs at most one Service.
+	Metrics *metrics.Registry
 }
 
 // Defaults returns cfg with every unset field filled in.
@@ -98,6 +108,11 @@ type Request struct {
 	Opts search.Options
 	// Timeout overrides the service's default per-job deadline when positive.
 	Timeout time.Duration
+	// RequestID tags the request for tracing: it is stamped into the job
+	// record and every log line the request produces. It never affects Key —
+	// identical problems still share one cache entry and one flight
+	// regardless of who asked.
+	RequestID string
 }
 
 // Key returns the canonical cache key of the request: a SHA-256 digest over
@@ -164,6 +179,9 @@ const (
 type Job struct {
 	ID  string
 	Key string
+	// RequestID is the tracing ID of the request that created the job
+	// (joiners of an in-flight run keep their own IDs in their own logs).
+	RequestID string
 
 	req      Request
 	state    State
@@ -177,9 +195,11 @@ type Job struct {
 
 // JobStatus is an immutable snapshot of a job, safe to serialize.
 type JobStatus struct {
-	ID    string `json:"id"`
-	Key   string `json:"key"`
-	State State  `json:"state"`
+	ID  string `json:"id"`
+	Key string `json:"key"`
+	// RequestID traces the job back to the HTTP request that created it.
+	RequestID string `json:"request_id,omitempty"`
+	State     State  `json:"state"`
 	// Error is set when State is failed.
 	Error string `json:"error,omitempty"`
 	// Result is set when State is done.
@@ -188,11 +208,14 @@ type JobStatus struct {
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
-// Stats exposes the cache and pool gauges served at /stats.
+// Stats exposes the cache and pool gauges served at /stats. The same
+// signals, plus histograms and per-engine breakdowns, are exposed in
+// Prometheus form at /v1/metrics.
 type Stats struct {
-	CacheHits    int64 `json:"cache_hits"`
-	CacheMisses  int64 `json:"cache_misses"`
-	CacheEntries int   `json:"cache_entries"`
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheEntries   int   `json:"cache_entries"`
 	// Deduped counts requests that joined an in-flight identical run instead
 	// of starting their own.
 	Deduped     int64 `json:"deduped"`
@@ -216,6 +239,9 @@ type Service struct {
 	// before draining the queue.
 	admits sync.WaitGroup
 
+	log *slog.Logger
+	met *serviceMetrics
+
 	mu       sync.Mutex
 	closed   bool
 	nextID   int64
@@ -224,8 +250,8 @@ type Service struct {
 	flight   map[string]*Job
 	cache    *lruCache
 
-	hits, misses, deduped, jobsDone, jobsFailed int64
-	running                                     int
+	hits, misses, evictions, deduped, jobsDone, jobsFailed int64
+	running                                                int
 }
 
 // New starts a service with cfg.Workers pool workers.
@@ -238,13 +264,26 @@ func New(cfg Config) *Service {
 		jobs:   make(map[string]*Job),
 		flight: make(map[string]*Job),
 		cache:  newLRU(cfg.CacheEntries),
+		log:    cfg.Logger,
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s.met = newServiceMetrics(reg, s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
 }
+
+// Metrics returns the registry the service instruments; the HTTP facade
+// serves it at GET /v1/metrics.
+func (s *Service) Metrics() *metrics.Registry { return s.met.reg }
 
 // Close stops the workers and fails every job still waiting in the queue.
 // In-flight runs finish; Close returns after the pool is drained.
@@ -317,8 +356,10 @@ func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Res
 	}
 	if resp, ok := s.cache.get(key); ok {
 		s.hits++
+		s.met.cacheHits.Inc()
 		if sync {
 			s.mu.Unlock()
+			s.log.Debug("cache hit", "request_id", req.RequestID, "key", key, "engine", req.Engine)
 			return nil, resp.cached(), nil
 		}
 		// Async callers poll a job either way; synthesize a done one.
@@ -329,19 +370,26 @@ func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Res
 		close(j.done)
 		s.retainLocked(j)
 		s.mu.Unlock()
+		s.log.Debug("cache hit", "request_id", req.RequestID, "key", key, "engine", req.Engine, "job", j.ID)
 		return j, nil, nil
 	}
 	if j, ok := s.flight[key]; ok {
 		s.deduped++
+		s.met.dedupJoins.Inc()
 		s.mu.Unlock()
+		s.log.Debug("joined in-flight run", "request_id", req.RequestID, "key", key, "job", j.ID)
 		return j, nil, nil
 	}
 	s.misses++
+	s.met.cacheMisses.Inc()
 	j := s.newJobLocked(key, req)
 	s.flight[key] = j
 	s.admits.Add(1)
 	s.mu.Unlock()
 	defer s.admits.Done()
+	// Admitted: the job owns the flight for its key; the enqueue attempt
+	// below may still fail (backpressure), which finish() logs as a failure.
+	s.log.Info("job admitted", "request_id", req.RequestID, "job", j.ID, "key", key, "engine", req.Engine)
 
 	if sync {
 		select {
@@ -367,12 +415,13 @@ func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Res
 func (s *Service) newJobLocked(key string, req Request) *Job {
 	s.nextID++
 	j := &Job{
-		ID:       "j" + strconv.FormatInt(s.nextID, 10),
-		Key:      key,
-		req:      req,
-		state:    StateQueued,
-		done:     make(chan struct{}),
-		enqueued: time.Now(),
+		ID:        "j" + strconv.FormatInt(s.nextID, 10),
+		Key:       key,
+		RequestID: req.RequestID,
+		req:       req,
+		state:     StateQueued,
+		done:      make(chan struct{}),
+		enqueued:  time.Now(),
 	}
 	s.jobs[j.ID] = j
 	return j
@@ -395,7 +444,7 @@ func (s *Service) Job(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	st := JobStatus{ID: j.ID, Key: j.Key, State: j.state, Result: j.resp}
+	st := JobStatus{ID: j.ID, Key: j.Key, RequestID: j.RequestID, State: j.state, Result: j.resp}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -437,16 +486,17 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		CacheHits:    s.hits,
-		CacheMisses:  s.misses,
-		CacheEntries: s.cache.len(),
-		Deduped:      s.deduped,
-		JobsDone:     s.jobsDone,
-		JobsFailed:   s.jobsFailed,
-		JobsRunning:  s.running,
-		QueueLen:     len(s.queue),
-		QueueDepth:   s.cfg.QueueDepth,
-		Workers:      s.cfg.Workers,
+		CacheHits:      s.hits,
+		CacheMisses:    s.misses,
+		CacheEvictions: s.evictions,
+		CacheEntries:   s.cache.len(),
+		Deduped:        s.deduped,
+		JobsDone:       s.jobsDone,
+		JobsFailed:     s.jobsFailed,
+		JobsRunning:    s.running,
+		QueueLen:       len(s.queue),
+		QueueDepth:     s.cfg.QueueDepth,
+		Workers:        s.cfg.Workers,
 	}
 }
 
@@ -462,13 +512,17 @@ func (s *Service) worker() {
 	}
 }
 
-// run executes one job under its deadline and publishes the outcome.
+// run executes one job under its deadline and publishes the outcome. It is
+// where the per-engine latency histogram is fed and where the engines'
+// progress events are tapped into the search metrics.
 func (s *Service) run(j *Job) {
 	s.mu.Lock()
 	j.state = StateRunning
 	j.started = time.Now()
 	s.running++
 	s.mu.Unlock()
+	s.log.Debug("job started", "request_id", j.RequestID, "job", j.ID,
+		"engine", j.req.Engine, "queue_ms", ms(j.started.Sub(j.enqueued)))
 
 	ctx := context.Background()
 	timeout := j.req.Timeout
@@ -480,7 +534,14 @@ func (s *Service) run(j *Job) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	resp, err := solve(ctx, j.req)
+	req := j.req
+	req.Opts.Progress = s.met.progressTap(req.Opts.Progress)
+	resp, tm, err := solve(ctx, req)
+	s.met.engineSeconds.WithLabelValues(req.Engine).Observe(tm.TotalMS / 1e3)
+	if resp != nil {
+		tm.QueueMS = ms(j.started.Sub(j.enqueued))
+		resp.Timings = &tm
+	}
 	s.finish(j, resp, err, true)
 }
 
@@ -496,16 +557,33 @@ func (s *Service) finish(j *Job, resp *Response, err error, ran bool) {
 		j.state = StateFailed
 		j.err = err
 		s.jobsFailed++
+		s.met.jobs.WithLabelValues(string(StateFailed)).Inc()
 	} else {
 		j.state = StateDone
 		j.resp = resp
 		s.jobsDone++
-		s.cache.put(j.Key, resp)
+		s.met.jobs.WithLabelValues(string(StateDone)).Inc()
+		if evicted := s.cache.put(j.Key, resp); evicted > 0 {
+			s.evictions += int64(evicted)
+			s.met.cacheEvictions.Add(int64(evicted))
+		}
 	}
 	j.finished = time.Now()
 	delete(s.flight, j.Key)
 	s.retainLocked(j)
 	s.mu.Unlock()
+	if err != nil {
+		s.log.Info("job failed", "request_id", j.RequestID, "job", j.ID,
+			"engine", j.req.Engine, "elapsed_ms", ms(j.finished.Sub(j.enqueued)), "error", err)
+	} else {
+		attrs := []any{"request_id", j.RequestID, "job", j.ID, "engine", j.req.Engine,
+			"elapsed_ms", ms(j.finished.Sub(j.enqueued)), "cache_write", true}
+		if tm := resp.Timings; tm != nil {
+			attrs = append(attrs, "queue_ms", tm.QueueMS, "prepare_ms", tm.PrepareMS,
+				"search_ms", tm.SearchMS, "summarize_ms", tm.SummarizeMS)
+		}
+		s.log.Info("job done", attrs...)
+	}
 	close(j.done)
 }
 
@@ -531,21 +609,30 @@ func (s *Service) outcome(j *Job) (*Response, error) {
 
 // solve runs the full pipeline for one request: pre-process, search, verify,
 // summarize. It is deliberately free of service state — the pure function
-// the pool executes.
-func solve(ctx context.Context, req Request) (*Response, error) {
+// the pool executes — and reports where the wall clock went, stage by stage,
+// even on failure (so a timeout shows which stage ate the budget).
+func solve(ctx context.Context, req Request) (_ *Response, tm Timings, _ error) {
+	start := time.Now()
+	defer func() { tm.TotalMS = ms(time.Since(start)) }()
 	eng, err := search.New(req.Engine)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	prep, err := usecase.Prepare(req.Design)
+	tm.PrepareMS = ms(time.Since(start))
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
+	searchStart := time.Now()
 	res, err := eng.Search(ctx, prep, req.Design.NumCores(), req.Params, req.Opts)
+	tm.SearchMS = ms(time.Since(searchStart))
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
-	return summarize(req, prep, res), nil
+	sumStart := time.Now()
+	resp := summarize(req, prep, res)
+	tm.SummarizeMS = ms(time.Since(sumStart))
+	return resp, tm, nil
 }
 
 // Response is the service's result envelope. Cached marks a cache hit; the
@@ -555,7 +642,11 @@ type Response struct {
 	Key    string `json:"key"`
 	Engine string `json:"engine"`
 	Cached bool   `json:"cached"`
-	Result Result `json:"result"`
+	// Timings breaks the producing run's wall clock into pipeline stages; a
+	// cache hit reports the original run's timings (the envelope says
+	// Cached, so a 2ms hit on a 30s anneal stays interpretable).
+	Timings *Timings `json:"timings,omitempty"`
+	Result  Result   `json:"result"`
 }
 
 // cached returns a copy marked as a cache hit.

@@ -33,6 +33,20 @@ type (
 	ServerStats = service.Stats
 )
 
+// ContextWithRequestID tags the context with a request ID that the Client
+// will forward to the daemon as X-Request-ID, tying client-side calls to the
+// server's logs and job records. Without one, the Client generates a fresh
+// ID per call.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return service.ContextWithRequestID(ctx, id)
+}
+
+// RequestIDFrom returns the context's request ID, or "" when untagged.
+func RequestIDFrom(ctx context.Context) string { return service.RequestIDFrom(ctx) }
+
+// NewRequestID returns a fresh 16-hex-digit random request ID.
+func NewRequestID() string { return service.NewRequestID() }
+
 // Client talks to a running nocserved daemon over its versioned /v1 HTTP
 // surface. Repeated identical requests from any number of clients share the
 // daemon's result cache. The zero value is not usable; construct with
@@ -205,11 +219,18 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 }
 
 // do executes the request, mapping non-2xx replies to errors carrying the
-// server's diagnostic.
+// server's diagnostic. Every request goes out with an X-Request-ID — the
+// context's, or a freshly generated one — so a failing call can be matched
+// to the daemon's log lines; errors quote the ID for that reason.
 func (c *Client) do(req *http.Request, wantStatus int, out any) error {
+	id := RequestIDFrom(req.Context())
+	if id == "" {
+		id = NewRequestID()
+	}
+	req.Header.Set("X-Request-ID", id)
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("noc: %s %s: %w", req.Method, req.URL, err)
+		return fmt.Errorf("noc: %s %s [request %s]: %w", req.Method, req.URL, id, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
@@ -217,9 +238,9 @@ func (c *Client) do(req *http.Request, wantStatus int, out any) error {
 			Error string `json:"error"`
 		}
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("noc: server: %s (HTTP %d)", e.Error, resp.StatusCode)
+			return fmt.Errorf("noc: server: %s (HTTP %d, request %s)", e.Error, resp.StatusCode, id)
 		}
-		return fmt.Errorf("noc: server: HTTP %d on %s", resp.StatusCode, req.URL.Path)
+		return fmt.Errorf("noc: server: HTTP %d on %s (request %s)", resp.StatusCode, req.URL.Path, id)
 	}
 	if out == nil {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"nocmap/internal/search"
 	"nocmap/internal/service"
@@ -22,6 +23,7 @@ import (
 //		noc.WithSeed(42),
 //		noc.WithBudget(30*time.Second))
 func Map(ctx context.Context, d *Design, opts ...Option) (*Result, error) {
+	start := time.Now()
 	cfg := newConfig(opts)
 	eng, err := search.New(cfg.engine)
 	if err != nil {
@@ -35,19 +37,30 @@ func Map(ctx context.Context, d *Design, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var tm Timings
+	tm.PrepareMS = msSince(start)
 	p := cfg.params
 	p.Topology = spec
+	searchStart := time.Now()
 	res, err := eng.Search(ctx, prep, d.NumCores(), p, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
+	tm.SearchMS = msSince(searchStart)
+	sumStart := time.Now()
+	summary := service.SummarizeResult(d.Name, prep, res)
+	tm.SummarizeMS = msSince(sumStart)
+	tm.TotalMS = msSince(start)
 	return &Result{
-		Summary: service.SummarizeResult(d.Name, prep, res),
+		Summary: summary,
 		engine:  cfg.engine,
 		mapping: res.Mapping,
 		prep:    prep,
+		timings: tm,
 	}, nil
 }
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
 
 // ResolveTopology turns a topology argument — "mesh", "torus",
 // "@fabric.json", or "" meaning "whatever the design's own tag says" —

@@ -59,6 +59,12 @@ type (
 	// VersionInfo is the build identity of this binary or of a remote
 	// nocserved (GET /v1/version).
 	VersionInfo = service.VersionInfo
+
+	// Timings is the per-stage wall-clock breakdown of one mapping run:
+	// queueing (service only), pre-processing, search and summarization, in
+	// milliseconds. Local results expose it via Result.Timings; service
+	// replies carry it on the MapResponse envelope.
+	Timings = service.Timings
 )
 
 // Progress stages, re-exported for WithProgress consumers.

@@ -168,3 +168,26 @@ func TestWithProgressPortfolioSerialized(t *testing.T) {
 		t.Errorf("portfolio streamed %d events; want at least mapped + done", calls)
 	}
 }
+
+// TestMapReportsTimings: a local Map exposes its per-stage wall-clock
+// breakdown, consistent with the total, without touching the stable Summary
+// encoding (TestMapResultStableJSON pins that separately).
+func TestMapReportsTimings(t *testing.T) {
+	res, err := noc.Map(context.Background(), fig5Design(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timings()
+	if tm.TotalMS <= 0 {
+		t.Fatalf("TotalMS = %v, want > 0", tm.TotalMS)
+	}
+	if tm.PrepareMS < 0 || tm.SearchMS < 0 || tm.SummarizeMS < 0 {
+		t.Fatalf("negative stage timing: %+v", tm)
+	}
+	if sum := tm.PrepareMS + tm.SearchMS + tm.SummarizeMS; sum > tm.TotalMS {
+		t.Fatalf("stage sum %v exceeds total %v", sum, tm.TotalMS)
+	}
+	if tm.QueueMS != 0 {
+		t.Fatalf("QueueMS = %v on a local run, want 0", tm.QueueMS)
+	}
+}

@@ -35,10 +35,16 @@ type Result struct {
 	engine  string
 	mapping *core.Mapping
 	prep    *usecase.Prepared
+	timings Timings
 }
 
 // Engine names the search engine that produced the result.
 func (r *Result) Engine() string { return r.engine }
+
+// Timings reports where the wall-clock of the Map call went, broken down by
+// pipeline stage (prepare, search, summarize). The breakdown is diagnostic
+// metadata, not part of the stable Summary encoding.
+func (r *Result) Timings() Timings { return r.timings }
 
 // Fabric renders the solution's interconnect for humans, e.g.
 // "2x3 mesh (6 switches)" or "custom ring8 (8 switches)".

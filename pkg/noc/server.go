@@ -28,8 +28,8 @@ func NewServer(cfg ServerConfig) *Server {
 }
 
 // Handler returns the HTTP facade: /v1/map, /v1/batch, /v1/jobs/{id},
-// /v1/stats, /v1/version, /healthz, plus the deprecated unversioned
-// aliases.
+// /v1/stats, /v1/metrics, /v1/version, /healthz, plus the deprecated
+// unversioned aliases.
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Stats reads the pool and cache gauges.
