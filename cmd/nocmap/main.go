@@ -8,7 +8,7 @@
 //
 //	nocmap -in design.json [-engine greedy|anneal|portfolio] [-seeds 4]
 //	       [-topology mesh|torus|@fabric.json] [-budget 30s] [-freq 500]
-//	       [-slots 64] [-vhdl noc.vhd] [-config prefix]
+//	       [-slots 64] [-speculate 4] [-vhdl noc.vhd] [-config prefix]
 //	       [-placement place.txt] [-improve] [-progress]
 //
 // With -server URL the design is mapped by a running nocserved daemon
@@ -54,6 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slots := fs.Int("slots", 64, "TDMA slot-table size")
 	maxDim := fs.Int("maxdim", 20, "maximum mesh dimension")
 	improve := fs.Bool("improve", false, "run placement refinement after mapping")
+	speculate := fs.Int("speculate", 0,
+		"speculative move-evaluation width for the anneal/portfolio engines: "+
+			"score this many candidate moves concurrently per annealing step (0/1 = serial)")
 	progress := fs.Bool("progress", false, "stream search progress events to stderr")
 	vhdl := fs.String("vhdl", "", "write structural VHDL to this file")
 	config := fs.String("config", "", "write per-use-case slot-table images to <prefix>-<usecase>.cfg")
@@ -94,20 +97,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "nocmap: -progress streams from in-process engines and runs locally; drop -server to use it")
 			return 2
 		}
+		if *speculate > 1 {
+			fmt.Fprintln(stderr, "nocmap: -speculate tunes in-process engines and runs locally; drop -server to use it")
+			return 2
+		}
 		if err := runRemote(stdout, stderr, *server, *timeout, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
 			fmt.Fprintln(stderr, "nocmap:", err)
 			return 1
 		}
 		return 0
 	}
-	if err := runLocal(stdout, stderr, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve, *progress, *vhdl, *config, *placement, *simulate); err != nil {
+	if err := runLocal(stdout, stderr, *in, *engine, *topoFlag, *seed, *seeds, *speculate, *budget, *freq, *slots, *maxDim, *improve, *progress, *vhdl, *config, *placement, *simulate); err != nil {
 		fmt.Fprintln(stderr, "nocmap:", err)
 		return 1
 	}
 	return 0
 }
 
-func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64, seeds int, budget time.Duration,
+func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64, seeds, speculate int, budget time.Duration,
 	freq float64, slots, maxDim int, improve, progress bool, vhdl, config, placement string, simulate bool) error {
 	d, err := noc.LoadDesignFile(in)
 	if err != nil {
@@ -130,6 +137,9 @@ func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64,
 		noc.WithSlotTableSize(slots),
 		noc.WithMaxMeshDim(maxDim),
 		noc.WithImprove(improve),
+	}
+	if speculate > 1 {
+		opts = append(opts, noc.WithSpeculation(speculate))
 	}
 	if progress {
 		mapStart := time.Now()

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// record builds a baseline File for the compare tests.
+func record() *File {
+	return &File{
+		Note: "test",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkEngineGreedyD1", Iterations: 1, NsPerOp: 600000,
+				Metrics: map[string]float64{"switches": 4, "max_util_pct": 53.125}},
+		},
+		AnnealMove: &AnnealMove{
+			Moves: 200, Seed: 1,
+			Rows: []AnnealMoveRow{
+				{Design: "D1-settopbox-4uc", NsFull: 600000, NsDelta: 30000, Speedup: 20},
+			},
+		},
+		Spec: &SpecRuns{
+			K: 4, Iters: 120, Seed: 1,
+			Rows: []SpecRow{
+				{Design: "D1-settopbox-4uc", NsSerial: 3_000_000, NsSpec: 6_000_000,
+					CostSerial: 4006, CostSpec: 4005.7, Switches: 4, MaxUtilPct: 53.125,
+					Speculated: 120, SpecAccepted: 30},
+			},
+		},
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := record()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip diverged:\nwrote %+v\nread  %+v", f, got)
+	}
+}
+
+// TestReadCommittedRecord parses the repository's committed PR 4 record —
+// the flattened metric keys of the historical format must keep loading.
+func TestReadCommittedRecord(t *testing.T) {
+	f, err := ReadFile(filepath.Join("..", "..", "..", "BENCH_pr4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.Benchmark("BenchmarkEngineAnnealD1")
+	if b == nil {
+		t.Fatal("BenchmarkEngineAnnealD1 missing from BENCH_pr4.json")
+	}
+	if b.Metrics["switches"] != 4 {
+		t.Fatalf("switches metric = %v, want 4", b.Metrics["switches"])
+	}
+	if f.AnnealMove == nil || len(f.AnnealMove.Rows) != 4 {
+		t.Fatalf("anneal_move table incomplete: %+v", f.AnnealMove)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := record()
+
+	// Identical records pass.
+	if c := Compare(base, record(), 0.25); !c.OK() {
+		t.Fatalf("identical records fail the gate: %v", c.Failures)
+	}
+
+	// A hot-path regression within the threshold passes.
+	fresh := record()
+	fresh.AnnealMove.Rows[0].NsDelta = 36000 // +20%
+	if c := Compare(base, fresh, 0.25); !c.OK() {
+		t.Fatalf("+20%% delta fails a 25%% gate: %v", c.Failures)
+	}
+
+	// Beyond the threshold fails.
+	fresh = record()
+	fresh.AnnealMove.Rows[0].NsDelta = 40000 // +33%
+	if c := Compare(base, fresh, 0.25); c.OK() {
+		t.Fatal("+33% delta passed a 25% gate")
+	}
+
+	// A slower legacy path alone never fails the gate.
+	fresh = record()
+	fresh.AnnealMove.Rows[0].NsFull = 10 * base.AnnealMove.Rows[0].NsFull
+	if c := Compare(base, fresh, 0.25); !c.OK() {
+		t.Fatalf("ns_full regression failed the gate: %v", c.Failures)
+	}
+
+	// Engine-quality drift fails regardless of timing.
+	fresh = record()
+	fresh.Benchmarks[0].Metrics = map[string]float64{"switches": 5, "max_util_pct": 53.125}
+	if c := Compare(base, fresh, 0.25); c.OK() {
+		t.Fatal("switch-count drift passed the gate")
+	}
+
+	// A missing metric fails.
+	fresh = record()
+	fresh.Benchmarks[0].Metrics = map[string]float64{"switches": 4}
+	if c := Compare(base, fresh, 0.25); c.OK() {
+		t.Fatal("missing metric passed the gate")
+	}
+
+	// A speculative run landing on a different fabric size fails.
+	fresh = record()
+	fresh.Spec.Rows[0].Switches = 6
+	if c := Compare(base, fresh, 0.25); c.OK() {
+		t.Fatal("speculative switch drift passed the gate")
+	}
+
+	// Rows and entries unknown to the baseline are reported, not failed.
+	fresh = record()
+	fresh.AnnealMove.Rows = append(fresh.AnnealMove.Rows,
+		AnnealMoveRow{Design: "D9-new", NsFull: 1, NsDelta: 1})
+	fresh.Benchmarks = append(fresh.Benchmarks,
+		Benchmark{Name: "BenchmarkNew", Iterations: 1})
+	if c := Compare(base, fresh, 0.25); !c.OK() {
+		t.Fatalf("new rows failed the gate: %v", c.Failures)
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	for _, name := range WorkloadNames() {
+		w, err := WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w.Designs) == 0 || w.Moves <= 0 {
+			t.Fatalf("workload %s underspecified: %+v", name, w)
+		}
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatal("unknown workload resolved")
+	}
+}
+
+// TestBenchmarkMetricCollision: a metric named like a fixed field must be
+// rejected at write time, not silently swallowed at read time.
+func TestBenchmarkMetricCollision(t *testing.T) {
+	b := Benchmark{Name: "x", Metrics: map[string]float64{"ns_per_op": 1}}
+	if _, err := b.MarshalJSON(); err == nil {
+		t.Fatal("metric shadowing ns_per_op marshalled")
+	}
+}

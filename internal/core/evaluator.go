@@ -69,6 +69,17 @@ type Evaluator struct {
 	// precomputed so sessions can recompute stats without building Configs.
 	ucPairs [][]ucPairStat
 
+	// Dense pair indexing for the session hot path: pairIdx numbers the
+	// distinct pairs in pairList order, planOf mirrors plans by that index,
+	// pairsOf lists per core the (ascending) indices of the pairs touching
+	// it, and ucPairIdx mirrors ucPairs as indices. Together they let a move
+	// evaluation find and walk its affected pairs with array indexing where
+	// the one-shot path uses map lookups.
+	pairIdx   map[traffic.PairKey]int32
+	planOf    []*pairPlan
+	pairsOf   [][]int32
+	ucPairIdx [][]int32
+
 	// paths caches candidate mesh paths per switch pair.
 	paths *route.Table
 
@@ -93,9 +104,10 @@ type ucPairStat struct {
 
 // pairDemand is one pair of one group's routing worklist: its slot demand
 // plus the group's reservation bandwidth and latency bound (copied from the
-// pair's plan for cheap per-group iteration).
+// pair's plan for cheap per-group iteration), and the pair's dense index.
 type pairDemand struct {
 	key   traffic.PairKey
+	idx   int32
 	slots int
 	bw    float64
 	lat   float64
@@ -238,6 +250,21 @@ func (ev *Evaluator) buildTemplates() {
 		}
 		ev.plans[key] = plan
 	}
+	// Dense pair index in pairList order, with the per-core incidence lists
+	// the session's move evaluation walks instead of scanning every pair.
+	ev.pairIdx = make(map[traffic.PairKey]int32, len(ev.pairList))
+	ev.planOf = make([]*pairPlan, len(ev.pairList))
+	for i, key := range ev.pairList {
+		ev.pairIdx[key] = int32(i)
+		ev.planOf[i] = ev.plans[key]
+	}
+	ev.pairsOf = make([][]int32, ev.numCores)
+	for i, key := range ev.pairList {
+		ev.pairsOf[key.Src] = append(ev.pairsOf[key.Src], int32(i))
+		if key.Dst != key.Src {
+			ev.pairsOf[key.Dst] = append(ev.pairsOf[key.Dst], int32(i))
+		}
+	}
 	// Per-group routing worklists in global (bandwidth-sorted) pair order.
 	// With a fixed placement the groups never interact — each owns its slot
 	// tables and candidate costs read only its own state — so evaluating a
@@ -249,16 +276,18 @@ func (ev *Evaluator) buildTemplates() {
 		plan := ev.plans[key]
 		for i, g := range plan.groups {
 			ev.groupPairs[g] = append(ev.groupPairs[g], pairDemand{
-				key: key, slots: ev.pairSlots[g][key], bw: plan.bw[i], lat: plan.lat[i],
+				key: key, idx: ev.pairIdx[key], slots: ev.pairSlots[g][key], bw: plan.bw[i], lat: plan.lat[i],
 			})
 		}
 	}
 	// Per-use-case stat iteration: distinct pairs with the flow bandwidth
 	// (use-case validation forbids duplicate pairs, so flows ≡ pairs).
 	ev.ucPairs = make([][]ucPairStat, len(ev.prep.UseCases))
+	ev.ucPairIdx = make([][]int32, len(ev.prep.UseCases))
 	for uc, u := range ev.prep.UseCases {
 		for _, f := range u.Flows {
 			ev.ucPairs[uc] = append(ev.ucPairs[uc], ucPairStat{key: f.Key(), bw: f.BandwidthMBs})
+			ev.ucPairIdx[uc] = append(ev.ucPairIdx[uc], ev.pairIdx[f.Key()])
 		}
 	}
 	ev.active = make([]int, 0, ev.numCores)
@@ -479,7 +508,7 @@ func (ev *Evaluator) reserveSlots(st *tdma.State, owner int32, key traffic.PairK
 			if !ok {
 				break // more slots cannot become available
 			}
-			if latBudget >= 0 && tdma.WorstCaseLatencySlots(starts, len(full), T) > latBudget {
+			if latBudget >= 0 && tdma.WorstCaseLatencySlotsSorted(starts, len(full), T) > latBudget {
 				continue // spread more slots to shrink the gap
 			}
 			if err := st.Reserve(owner, full, starts); err != nil {
@@ -491,3 +520,90 @@ func (ev *Evaluator) reserveSlots(st *tdma.State, owner int32, key traffic.PairK
 	return nil, nil, 0, fmt.Errorf("flow %d->%d: no aligned slots (need %d, latency budget %d slots) on any of %d paths",
 		key.Src, key.Dst, slots0, latBudget, len(meshCands))
 }
+
+// Infeasibility sentinels of the session's delta re-route. The move loop of
+// a search engine probes thousands of placements whose rejections are
+// ordinary control flow, so the hot path reports them without formatting;
+// the one-shot entry points keep their descriptive errors.
+var (
+	errOverCapacity = fmt.Errorf("core: flow bandwidth exceeds link capacity")
+	errNoPath       = fmt.Errorf("core: no bandwidth-feasible path")
+	errNoAligned    = fmt.Errorf("core: no aligned slots on any candidate path")
+)
+
+// reserveScratch is the per-session working state of reserveSlotsInto: the
+// route-query scratch and the shared path probe buffer.
+type reserveScratch struct {
+	route *route.Scratch
+	full  []int
+}
+
+// reserveSlotsInto is reserveSlots for the session hot path: path and start
+// buffers come from (and are retained by) the record, route queries reuse
+// the session's scratch, and infeasibility is reported through shared
+// sentinel errors. The selected path, starts and slot count are identical
+// to reserveSlots' on the same state — both probe the same candidates in
+// the same order.
+func (ev *Evaluator) reserveSlotsInto(sc *reserveScratch, st *tdma.State, owner int32, key traffic.PairKey,
+	srcS, dstS, egress, ingress int, bw, latencyNS float64, rec *resRecord) error {
+	T := ev.p.SlotTableSize
+	slots0 := tdma.SlotsNeeded(bw, ev.p.SlotBandwidthMBs())
+	if slots0 > T {
+		return errOverCapacity
+	}
+	if cap(rec.start) < T {
+		// A reservation never holds more than T starts; sizing the record's
+		// buffer once keeps every later probe allocation-free no matter which
+		// pair the recycled record serves.
+		rec.start = make([]int, 0, T)
+	}
+	latBudget := ev.p.LatencyBudgetSlots(latencyNS)
+	var meshCands []route.Path
+	if srcS != dstS {
+		meshCands = ev.paths.CandidatesInto(sc.route, st, topology.SwitchID(srcS), topology.SwitchID(dstS), slots0, ev.p.Cost)
+		if len(meshCands) == 0 {
+			return errNoPath
+		}
+		if ev.p.DisableUnifiedSlots {
+			meshCands = meshCands[:1]
+		}
+	} else {
+		meshCands = sameSwitchCands
+	}
+	for _, cand := range meshCands {
+		full := sc.full[:0]
+		full = append(full, egress)
+		for _, l := range cand {
+			full = append(full, int(l))
+		}
+		full = append(full, ingress)
+		sc.full = full
+		for n := slots0; n <= T; n++ {
+			starts, ok := st.FindAlignedInto(full, n, rec.start[:0])
+			if !ok {
+				break // more slots cannot become available
+			}
+			rec.start = starts // retain buffer growth across rejected probes
+			if latBudget >= 0 && tdma.WorstCaseLatencySlotsSorted(starts, len(full), T) > latBudget {
+				continue // spread more slots to shrink the gap
+			}
+			if err := st.Reserve(owner, full, starts); err != nil {
+				return fmt.Errorf("internal: reserve after FindAligned: %w", err)
+			}
+			rec.path = append(rec.path[:0], full...)
+			rec.start = starts
+			hops := 0
+			for _, l := range rec.path {
+				if l < ev.meshLinks {
+					hops++
+				}
+			}
+			rec.hops = int32(hops)
+			return nil
+		}
+	}
+	return errNoAligned
+}
+
+// sameSwitchCands is the single empty mesh path of a src==dst reservation.
+var sameSwitchCands = []route.Path{nil}

@@ -245,6 +245,11 @@ type resRecord struct {
 	start  []int
 	key    traffic.PairKey
 	demand int
+	// idx and hops serve the session's dense bookkeeping: the pair's index
+	// in the evaluator's pairList and the mesh-hop count of path. The
+	// mapper's journal leaves them zero; sessions fill them on adoption.
+	idx  int32
+	hops int32
 }
 
 type placement struct {

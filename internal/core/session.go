@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
+	"nocmap/internal/route"
 	"nocmap/internal/tdma"
 	"nocmap/internal/topology"
 	"nocmap/internal/traffic"
@@ -25,6 +27,13 @@ import (
 // previous configuration exactly. This is the shape a Metropolis acceptance
 // loop needs — the annealer scores the candidate before deciding.
 //
+// The move path performs no heap allocation in steady state: records,
+// their path/start buffers, the pending-move bookkeeping and every scratch
+// live on the session and are recycled move over move (the per-group
+// rebuild fallback and error formatting on cold validation paths are the
+// deliberate exceptions). BenchmarkSessionMove gates this at 0 allocs/op
+// in CI.
+//
 // The configurations a session reaches by deltas are always feasible,
 // verified reservations, but they are not guaranteed to be the same
 // configuration a from-scratch evaluation of the same placement would
@@ -34,20 +43,37 @@ import (
 // deterministic score, which both paths provide.
 //
 // A Session is single-owner mutable state, like tdma.State: concurrent
-// searches each own one (the evaluator underneath is shared).
+// searches each own one (the evaluator underneath is shared). Clone forks
+// an independent session at the same configuration — the speculative batch
+// loop evaluates one candidate per clone concurrently.
 type Session struct {
 	ev *Evaluator
 
-	cs, cn    []int
-	states    []*tdma.State
-	recs      []map[traffic.PairKey]*resRecord
+	// cs/cn hold the current placement; csAlt/cnAlt are the spare buffers
+	// the next TryMove writes its candidate into (the pair swaps, so no
+	// placement copy ever allocates).
+	cs, cn       []int
+	csAlt, cnAlt []int
+
+	states []*tdma.State
+	// recs holds the live reservation records dense by [group][pair index]
+	// (nil where the group does not communicate over the pair).
+	recs      [][]*resRecord
 	nextOwner int32
 	stats     Stats
 
-	pending *pendingMove
+	pending bool
+	pm      pendingMove
+
+	// freeRecs recycles records — and, through them, their path/start
+	// buffers — across moves.
+	freeRecs []*resRecord
+
+	sc moveScratch
 }
 
-// pendingMove remembers how to undo the in-flight TryMove.
+// pendingMove remembers how to undo the in-flight TryMove. Its slices are
+// reused across moves.
 type pendingMove struct {
 	stats Stats
 
@@ -56,11 +82,82 @@ type pendingMove struct {
 	oldByGroup [][]*resRecord
 	newByGroup [][]*resRecord
 
-	// rebuilt maps each group the fallback re-evaluated from scratch to its
-	// complete pre-move record set (restored wholesale on Undo).
-	rebuilt map[int]map[traffic.PairKey]*resRecord
+	// rebuilt lists the groups the fallback re-evaluated from scratch;
+	// snap[g] then holds the group's complete pre-move record set
+	// (restored wholesale on Undo).
+	rebuilt []int
+	snap    [][]*resRecord
 
-	oldCS, oldCN []int
+	// swapped records whether the placement buffers were exchanged, so a
+	// rollback from any point restores them correctly.
+	swapped bool
+}
+
+// moveScratch is the reusable working state of one session's moves.
+type moveScratch struct {
+	res      reserveScratch
+	affected []int32
+	seenPair []bool
+	seats    []int
+	swCheck  []int
+}
+
+// Move-rejection sentinels: a search engine probes thousands of placements
+// whose rejections are ordinary control flow, so the hot path reports them
+// without formatting.
+var (
+	errPendingMove    = fmt.Errorf("core: session has a pending move (Keep or Undo it first)")
+	errNICapacity     = fmt.Errorf("core: move overfills an NI's slot-table capacity")
+	errSwitchCapacity = fmt.Errorf("core: move overfills a switch's mesh-link capacity")
+	errMoveInfeasible = fmt.Errorf("core: move infeasible: a group's flows no longer route or fit their slot tables")
+)
+
+// newSessionShell builds an empty session with every buffer sized for the
+// evaluator's design; callers fill states, records and the placement.
+func (ev *Evaluator) newSessionShell() *Session {
+	numGroups := len(ev.prep.Groups)
+	numPairs := len(ev.pairList)
+	s := &Session{
+		ev:     ev,
+		cs:     make([]int, ev.numCores),
+		cn:     make([]int, ev.numCores),
+		csAlt:  make([]int, ev.numCores),
+		cnAlt:  make([]int, ev.numCores),
+		states: make([]*tdma.State, numGroups),
+		recs:   make([][]*resRecord, numGroups),
+	}
+	for g := range s.recs {
+		s.recs[g] = make([]*resRecord, numPairs)
+	}
+	s.pm.oldByGroup = make([][]*resRecord, numGroups)
+	s.pm.newByGroup = make([][]*resRecord, numGroups)
+	s.pm.snap = make([][]*resRecord, numGroups)
+	s.sc.res.route = route.NewScratch()
+	s.sc.affected = make([]int32, 0, numPairs)
+	s.sc.seenPair = make([]bool, numPairs)
+	return s
+}
+
+func (s *Session) getRec() *resRecord {
+	if n := len(s.freeRecs); n > 0 {
+		r := s.freeRecs[n-1]
+		s.freeRecs = s.freeRecs[:n-1]
+		return r
+	}
+	return &resRecord{}
+}
+
+func (s *Session) putRec(r *resRecord) { s.freeRecs = append(s.freeRecs, r) }
+
+// pathHops counts the mesh links of a full path (NI links excluded).
+func (ev *Evaluator) pathHops(path []int) int32 {
+	hops := int32(0)
+	for _, l := range path {
+		if l < ev.meshLinks {
+			hops++
+		}
+	}
+	return hops
 }
 
 // NewSession fully evaluates the placement and, on success, returns a
@@ -79,13 +176,19 @@ func (ev *Evaluator) NewSession(coreSwitch, coreNI []int) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{
-		ev:     ev,
-		cs:     append([]int(nil), coreSwitch...),
-		cn:     append([]int(nil), coreNI...),
-		states: states,
+	s := ev.newSessionShell()
+	copy(s.cs, coreSwitch)
+	copy(s.cn, coreNI)
+	s.states = states
+	// Adopt the journal's records: the successful attempt detached its
+	// scratch, so the records — and their path/start buffers — are
+	// exclusively this session's and can enter the recycling pool.
+	for i := range journal {
+		r := &journal[i]
+		r.idx = ev.pairIdx[r.key]
+		r.hops = ev.pathHops(r.path)
+		s.recs[r.group][r.idx] = r
 	}
-	s.recs = recsFromJournal(ev, journal)
 	s.nextOwner = int32(len(journal))
 	s.stats = computeStats(mapping, states)
 	return s, nil
@@ -99,7 +202,9 @@ func (ev *Evaluator) NewSession(coreSwitch, coreNI []int) (*Session, error) {
 // flows while the placement was still emerging; adopting the reservations
 // keeps such results annealable. The result must be a feasible
 // configuration on this evaluator's topology (engine results verified by
-// internal/verify always are).
+// internal/verify always are). The reservation data is copied, never
+// aliased: the session's buffer recycling must not reach into the source
+// result.
 func (ev *Evaluator) SessionFrom(res *Result) (*Session, error) {
 	if res == nil || res.Mapping == nil {
 		return nil, fmt.Errorf("core: session from nil result")
@@ -111,20 +216,15 @@ func (ev *Evaluator) SessionFrom(res *Result) (*Session, error) {
 	if err := ev.ValidatePlacement(m.CoreSwitch, m.CoreNI); err != nil {
 		return nil, err
 	}
-	s := &Session{
-		ev:     ev,
-		cs:     append([]int(nil), m.CoreSwitch...),
-		cn:     append([]int(nil), m.CoreNI...),
-		states: make([]*tdma.State, len(ev.prep.Groups)),
-		recs:   make([]map[traffic.PairKey]*resRecord, len(ev.prep.Groups)),
-	}
+	s := ev.newSessionShell()
+	copy(s.cs, m.CoreSwitch)
+	copy(s.cn, m.CoreNI)
 	for g := range s.states {
 		st, err := tdma.NewState(ev.totalLinks, ev.p.SlotTableSize)
 		if err != nil {
 			return nil, err
 		}
 		s.states[g] = st
-		s.recs[g] = make(map[traffic.PairKey]*resRecord)
 	}
 	// Collect the group-shared assignment of every (group, pair) from the
 	// per-use-case configurations, then replay it.
@@ -134,44 +234,75 @@ func (ev *Evaluator) SessionFrom(res *Result) (*Session, error) {
 		if cfg == nil {
 			return nil, fmt.Errorf("core: result misses configuration of use-case %d", uc)
 		}
-		for _, ps := range ev.ucPairs[uc] {
+		for i, ps := range ev.ucPairs[uc] {
 			a := cfg.Assignments[ps.key]
 			if a == nil {
 				return nil, fmt.Errorf("core: result misses assignment of pair %d->%d", ps.key.Src, ps.key.Dst)
 			}
-			if _, done := s.recs[g][ps.key]; done {
+			idx := ev.ucPairIdx[uc][i]
+			if s.recs[g][idx] != nil {
 				continue
 			}
-			r := &resRecord{group: g, owner: s.nextOwner, path: a.Path, start: a.Starts, key: ps.key}
+			r := s.getRec()
+			r.group, r.owner, r.key, r.idx = g, s.nextOwner, ps.key, idx
+			r.path = append(r.path[:0], a.Path...)
+			r.start = append(r.start[:0], a.Starts...)
+			r.hops = ev.pathHops(r.path)
 			if err := s.states[g].Reserve(r.owner, r.path, r.start); err != nil {
 				return nil, fmt.Errorf("core: result not reservable (pair %d->%d, group %d): %w", ps.key.Src, ps.key.Dst, g, err)
 			}
 			s.nextOwner++
-			s.recs[g][ps.key] = r
+			s.recs[g][idx] = r
 		}
 	}
 	s.stats = s.statsFromRecs()
 	return s, nil
 }
 
-func recsFromJournal(ev *Evaluator, journal []resRecord) []map[traffic.PairKey]*resRecord {
-	recs := make([]map[traffic.PairKey]*resRecord, len(ev.prep.Groups))
-	for g := range recs {
-		recs[g] = make(map[traffic.PairKey]*resRecord)
+// Clone forks an independent session at the same committed configuration:
+// same placement, same reservations, same statistics, disjoint mutable
+// state. The clones share only the immutable evaluator underneath, so each
+// can run its own move loop concurrently — the speculative batch evaluator
+// scores one candidate per clone. Cloning with a pending move is an error.
+func (s *Session) Clone() (*Session, error) {
+	if s.pending {
+		return nil, errPendingMove
 	}
-	for i := range journal {
-		r := journal[i]
-		recs[r.group][r.key] = &r
+	c := s.ev.newSessionShell()
+	copy(c.cs, s.cs)
+	copy(c.cn, s.cn)
+	c.nextOwner = s.nextOwner
+	c.stats = s.stats
+	for g := range s.states {
+		c.states[g] = s.states[g].Clone()
+		for idx, r := range s.recs[g] {
+			if r == nil {
+				continue
+			}
+			nr := c.getRec()
+			nr.group, nr.owner, nr.key, nr.idx, nr.hops = r.group, r.owner, r.key, r.idx, r.hops
+			nr.path = append(nr.path[:0], r.path...)
+			nr.start = append(nr.start[:0], r.start...)
+			c.recs[g][idx] = nr
+		}
 	}
-	return recs
+	return c, nil
 }
 
 // Stats returns the statistics of the current committed configuration.
 func (s *Session) Stats() Stats { return s.stats }
 
-// Placement returns copies of the current committed placement.
+// Placement returns copies of the current placement.
 func (s *Session) Placement() (coreSwitch, coreNI []int) {
 	return append([]int(nil), s.cs...), append([]int(nil), s.cn...)
+}
+
+// PlacementInto copies the current placement into the caller's buffers
+// (each must have the design's core count) — the allocation-free form of
+// Placement for proposal loops.
+func (s *Session) PlacementInto(coreSwitch, coreNI []int) {
+	copy(coreSwitch, s.cs)
+	copy(coreNI, s.cn)
 }
 
 // TryMove evaluates the placement (coreSwitch, coreNI), which must differ
@@ -180,59 +311,90 @@ func (s *Session) Placement() (coreSwitch, coreNI []int) {
 // and the returned Stats describe the new configuration. On error the
 // session is unchanged and no move is pending.
 func (s *Session) TryMove(coreSwitch, coreNI []int, moved ...int) (Stats, error) {
-	if s.pending != nil {
-		return Stats{}, fmt.Errorf("core: session has a pending move (Keep or Undo it first)")
+	if s.pending {
+		return Stats{}, errPendingMove
 	}
-	if err := s.ev.ValidatePlacement(coreSwitch, coreNI); err != nil {
+	if err := s.validatePlacement(coreSwitch, coreNI); err != nil {
 		return Stats{}, err
 	}
-	movedSet := make(map[int]bool, len(moved))
 	for _, c := range moved {
 		if c < 0 || c >= s.ev.numCores {
 			return Stats{}, fmt.Errorf("core: moved core %d out of range", c)
 		}
-		movedSet[c] = true
 	}
 	for c := 0; c < s.ev.numCores; c++ {
-		if !movedSet[c] && (coreSwitch[c] != s.cs[c] || coreNI[c] != s.cn[c]) {
+		if coreSwitch[c] == s.cs[c] && coreNI[c] == s.cn[c] {
+			continue
+		}
+		listed := false
+		for _, m := range moved {
+			if m == c {
+				listed = true
+				break
+			}
+		}
+		if !listed {
 			return Stats{}, fmt.Errorf("core: core %d changed seats but is not listed as moved", c)
 		}
 	}
-	if err := s.niCapacityCheck(coreNI, movedSet); err != nil {
+	if err := s.niCapacityCheck(coreNI, moved); err != nil {
 		return Stats{}, err
 	}
-	if err := s.switchCapacityCheck(coreSwitch, movedSet); err != nil {
+	if err := s.switchCapacityCheck(coreSwitch, moved); err != nil {
 		return Stats{}, err
 	}
 
-	// Tear down every pair with a moved endpoint, in the deterministic
-	// global routing order.
-	numGroups := len(s.ev.prep.Groups)
-	pm := &pendingMove{
-		oldCS: s.cs, oldCN: s.cn,
-		oldByGroup: make([][]*resRecord, numGroups),
-		newByGroup: make([][]*resRecord, numGroups),
-	}
-	var affected []traffic.PairKey
-	for _, key := range s.ev.pairList {
-		if !movedSet[int(key.Src)] && !movedSet[int(key.Dst)] {
+	// Collect the pairs with a moved endpoint in the deterministic global
+	// routing order (the incidence lists are ascending; the merge is sorted
+	// back after dedup).
+	affected := s.sc.affected[:0]
+	for mi, c := range moved {
+		dup := false
+		for _, c2 := range moved[:mi] {
+			if c2 == c {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		affected = append(affected, key)
-		plan := s.ev.plans[key]
+		for _, idx := range s.ev.pairsOf[c] {
+			if !s.sc.seenPair[idx] {
+				s.sc.seenPair[idx] = true
+				affected = append(affected, idx)
+			}
+		}
+	}
+	slices.Sort(affected)
+	for _, idx := range affected {
+		s.sc.seenPair[idx] = false
+	}
+	s.sc.affected = affected
+
+	// Adopt the candidate placement (buffer swap; rollback swaps back).
+	pm := &s.pm
+	copy(s.csAlt, coreSwitch)
+	copy(s.cnAlt, coreNI)
+	s.cs, s.csAlt = s.csAlt, s.cs
+	s.cn, s.cnAlt = s.cnAlt, s.cn
+	pm.swapped = true
+
+	// Tear down every affected pair.
+	numGroups := len(s.ev.prep.Groups)
+	for _, idx := range affected {
+		plan := s.ev.planOf[idx]
 		for _, g := range plan.groups {
-			r := s.recs[g][key]
+			r := s.recs[g][idx]
 			if r == nil {
-				s.rollbackMove(pm)
-				return Stats{}, fmt.Errorf("core: internal: pair %d->%d missing from group %d", key.Src, key.Dst, g)
+				s.rollbackMove()
+				return Stats{}, fmt.Errorf("core: internal: pair %d missing from group %d", idx, g)
 			}
 			s.states[g].Release(r.owner, r.path, r.start)
-			delete(s.recs[g], key)
+			s.recs[g][idx] = nil
 			pm.oldByGroup[g] = append(pm.oldByGroup[g], r)
 		}
 	}
-	s.cs = append([]int(nil), coreSwitch...)
-	s.cn = append([]int(nil), coreNI...)
 
 	// Re-route group by group. The groups of a fixed placement are fully
 	// independent — each owns its slot tables — so a group whose delta
@@ -242,8 +404,8 @@ func (s *Session) TryMove(coreSwitch, coreNI []int, moved ...int) (Stats, error)
 	// without touching the remaining groups.
 	for g := 0; g < numGroups; g++ {
 		ok := true
-		for _, key := range affected {
-			plan := s.ev.plans[key]
+		for _, idx := range affected {
+			plan := s.ev.planOf[idx]
 			gi := -1
 			for i, pg := range plan.groups {
 				if pg == g {
@@ -254,28 +416,31 @@ func (s *Session) TryMove(coreSwitch, coreNI []int, moved ...int) (Stats, error)
 			if gi < 0 {
 				continue // this group does not communicate over the pair
 			}
-			path, starts, _, err := s.ev.reserveSlots(s.states[g], s.nextOwner, key,
+			key := s.ev.pairList[idx]
+			rec := s.getRec()
+			err := s.ev.reserveSlotsInto(&s.sc.res, s.states[g], s.nextOwner, key,
 				s.cs[key.Src], s.cs[key.Dst], s.niEgress(s.cn[key.Src]), s.niIngress(s.cn[key.Dst]),
-				plan.bw[gi], plan.lat[gi])
+				plan.bw[gi], plan.lat[gi], rec)
 			if err != nil {
+				s.putRec(rec)
 				ok = false
 				break
 			}
-			r := &resRecord{group: g, owner: s.nextOwner, path: path, start: starts, key: key}
+			rec.group, rec.owner, rec.key, rec.idx = g, s.nextOwner, key, idx
 			s.nextOwner++
-			s.recs[g][key] = r
-			pm.newByGroup[g] = append(pm.newByGroup[g], r)
+			s.recs[g][idx] = rec
+			pm.newByGroup[g] = append(pm.newByGroup[g], rec)
 		}
 		if ok {
 			continue
 		}
-		if err := s.rebuildGroup(g, pm); err != nil {
-			s.rollbackMove(pm)
-			return Stats{}, fmt.Errorf("core: move infeasible: group %d: %w", g, err)
+		if err := s.rebuildGroup(g); err != nil {
+			s.rollbackMove()
+			return Stats{}, errMoveInfeasible
 		}
 	}
 	pm.stats = s.statsFromRecs()
-	s.pending = pm
+	s.pending = true
 	return pm.stats, nil
 }
 
@@ -283,75 +448,136 @@ func (s *Session) TryMove(coreSwitch, coreNI []int, moved ...int) (Stats, error)
 // order, after undoing the group's partial delta. On success the group
 // carries exactly the configuration a full re-evaluation of the placement
 // would grant it; on failure the group is restored to its pre-move
-// configuration and the error reports the wedging pair.
-func (s *Session) rebuildGroup(g int, pm *pendingMove) error {
+// configuration.
+func (s *Session) rebuildGroup(g int) error {
+	pm := &s.pm
 	for _, r := range pm.newByGroup[g] {
 		s.states[g].Release(r.owner, r.path, r.start)
-		delete(s.recs[g], r.key)
+		s.recs[g][r.idx] = nil
+		s.putRec(r)
 	}
-	pm.newByGroup[g] = nil
-	// The pre-move record set: the current (untouched) records plus the
-	// ones the teardown released.
-	oldMap := s.recs[g]
+	pm.newByGroup[g] = pm.newByGroup[g][:0]
+	// Snapshot the pre-move record set: the current (untouched) records
+	// plus the ones the teardown released.
+	if pm.snap[g] == nil {
+		pm.snap[g] = make([]*resRecord, len(s.recs[g]))
+	}
+	snap := pm.snap[g]
+	copy(snap, s.recs[g])
 	for _, r := range pm.oldByGroup[g] {
-		oldMap[r.key] = r
+		snap[r.idx] = r
 	}
-	pm.oldByGroup[g] = nil
-	if pm.rebuilt == nil {
-		pm.rebuilt = make(map[int]map[traffic.PairKey]*resRecord)
-	}
-	pm.rebuilt[g] = oldMap
+	pm.oldByGroup[g] = pm.oldByGroup[g][:0]
+	pm.rebuilt = append(pm.rebuilt, g)
 
 	s.states[g].Reset()
-	s.recs[g] = make(map[traffic.PairKey]*resRecord, len(s.ev.groupPairs[g]))
+	cur := s.recs[g]
+	for i := range cur {
+		cur[i] = nil
+	}
 	for _, pd := range s.ev.groupPairs[g] {
 		key := pd.key
-		path, starts, _, err := s.ev.reserveSlots(s.states[g], s.nextOwner, key,
+		rec := s.getRec()
+		err := s.ev.reserveSlotsInto(&s.sc.res, s.states[g], s.nextOwner, key,
 			s.cs[key.Src], s.cs[key.Dst], s.niEgress(s.cn[key.Src]), s.niIngress(s.cn[key.Dst]),
-			pd.bw, pd.lat)
+			pd.bw, pd.lat, rec)
 		if err != nil {
-			s.restoreGroup(g, oldMap)
-			delete(pm.rebuilt, g)
-			return fmt.Errorf("flow %d->%d: %w", key.Src, key.Dst, err)
+			s.putRec(rec)
+			s.restoreGroupFromSnap(g)
+			pm.rebuilt = pm.rebuilt[:len(pm.rebuilt)-1]
+			return err
 		}
-		s.recs[g][key] = &resRecord{group: g, owner: s.nextOwner, path: path, start: starts, key: key}
+		rec.group, rec.owner, rec.key, rec.idx = g, s.nextOwner, key, pd.idx
 		s.nextOwner++
+		cur[pd.idx] = rec
 	}
 	return nil
 }
 
-// restoreGroup resets group g's state and replays a complete record set.
-func (s *Session) restoreGroup(g int, recs map[traffic.PairKey]*resRecord) {
+// restoreGroupFromSnap resets group g's state, frees its current records and
+// replays the snapshot taken by rebuildGroup.
+func (s *Session) restoreGroupFromSnap(g int) {
+	cur := s.recs[g]
+	for i, r := range cur {
+		if r != nil {
+			s.putRec(r)
+			cur[i] = nil
+		}
+	}
 	s.states[g].Reset()
-	for _, r := range recs {
+	for _, r := range s.pm.snap[g] {
+		if r == nil {
+			continue
+		}
 		if err := s.states[g].Reserve(r.owner, r.path, r.start); err != nil {
 			// The set was simultaneously live before; replay cannot conflict.
 			panic(fmt.Sprintf("core: internal: group restore failed: %v", err))
 		}
 	}
-	s.recs[g] = recs
+	copy(cur, s.pm.snap[g])
 }
 
 // rollbackMove restores every group and the placement to the pre-move
-// configuration.
-func (s *Session) rollbackMove(pm *pendingMove) {
-	for g, oldMap := range pm.rebuilt {
-		s.restoreGroup(g, oldMap)
+// configuration and recycles the rejected records.
+func (s *Session) rollbackMove() {
+	pm := &s.pm
+	for _, g := range pm.rebuilt {
+		s.restoreGroupFromSnap(g)
 	}
+	pm.rebuilt = pm.rebuilt[:0]
 	for g := range pm.newByGroup {
-		for i := len(pm.newByGroup[g]) - 1; i >= 0; i-- {
-			r := pm.newByGroup[g][i]
+		lst := pm.newByGroup[g]
+		for i := len(lst) - 1; i >= 0; i-- {
+			r := lst[i]
 			s.states[g].Release(r.owner, r.path, r.start)
-			delete(s.recs[g], r.key)
+			s.recs[g][r.idx] = nil
+			s.putRec(r)
 		}
+		pm.newByGroup[g] = lst[:0]
 		for _, r := range pm.oldByGroup[g] {
 			if err := s.states[g].Reserve(r.owner, r.path, r.start); err != nil {
 				panic(fmt.Sprintf("core: internal: session rollback failed: %v", err))
 			}
-			s.recs[g][r.key] = r
+			s.recs[g][r.idx] = r
+		}
+		pm.oldByGroup[g] = pm.oldByGroup[g][:0]
+	}
+	if pm.swapped {
+		s.cs, s.csAlt = s.csAlt, s.cs
+		s.cn, s.cnAlt = s.cnAlt, s.cn
+		pm.swapped = false
+	}
+}
+
+// validatePlacement is ValidatePlacement against session-owned scratch.
+func (s *Session) validatePlacement(coreSwitch, coreNI []int) error {
+	ev := s.ev
+	if len(coreSwitch) != ev.numCores || len(coreNI) != ev.numCores {
+		return fmt.Errorf("core: fixed placement has wrong length (switch %d, NI %d entries, design has %d cores)",
+			len(coreSwitch), len(coreNI), ev.numCores)
+	}
+	numNIs := ev.top.NumSwitches() * ev.p.NIsPerSwitch
+	if cap(s.sc.seats) < numNIs {
+		s.sc.seats = make([]int, numNIs)
+	}
+	seats := s.sc.seats[:numNIs]
+	for i := range seats {
+		seats[i] = 0
+	}
+	for c := 0; c < ev.numCores; c++ {
+		sw, ni := coreSwitch[c], coreNI[c]
+		if sw < 0 {
+			continue
+		}
+		if sw >= ev.top.NumSwitches() || ni < 0 || ni >= numNIs || ni/ev.p.NIsPerSwitch != sw {
+			return fmt.Errorf("core: fixed placement of core %d (switch %d, NI %d) invalid", c, sw, ni)
+		}
+		seats[ni]++
+		if seats[ni] > ev.p.CoresPerNI {
+			return fmt.Errorf("core: fixed placement overfills NI %d (%d cores, capacity %d)", ni, seats[ni], ev.p.CoresPerNI)
 		}
 	}
-	s.cs, s.cn = pm.oldCS, pm.oldCN
+	return nil
 }
 
 // niCapacityCheck rejects moves that are infeasible regardless of routing:
@@ -362,15 +588,23 @@ func (s *Session) rollbackMove(pm *pendingMove) {
 // no re-route — incremental or from scratch — can succeed, and the
 // expensive fallback is skipped. The bound is exact-necessary, so no
 // feasible move is ever rejected here.
-func (s *Session) niCapacityCheck(coreNI []int, movedSet map[int]bool) error {
+func (s *Session) niCapacityCheck(coreNI []int, moved []int) error {
 	T := s.ev.p.SlotTableSize
-	checked := make(map[int]bool, len(movedSet))
-	for c := range movedSet {
+	for mi, c := range moved {
 		ni := coreNI[c]
-		if ni < 0 || checked[ni] {
+		if ni < 0 {
 			continue
 		}
-		checked[ni] = true
+		dup := false
+		for _, c2 := range moved[:mi] {
+			if coreNI[c2] == ni {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		for g := range s.ev.prep.Groups {
 			sumOut, sumIn := 0, 0
 			for c2, n := range coreNI {
@@ -380,8 +614,7 @@ func (s *Session) niCapacityCheck(coreNI []int, movedSet map[int]bool) error {
 				}
 			}
 			if sumOut > T || sumIn > T {
-				return fmt.Errorf("core: NI %d over capacity in group %d (%d egress / %d ingress slots of %d)",
-					ni, g, sumOut, sumIn, T)
+				return errNICapacity
 			}
 		}
 	}
@@ -395,62 +628,92 @@ func (s *Session) niCapacityCheck(coreNI []int, movedSet map[int]bool) error {
 // degree times the slot table. Only the switches whose core membership the
 // move changes are re-checked. Like the NI bound this is exact-necessary:
 // violating it proves the placement infeasible before any routing runs.
-func (s *Session) switchCapacityCheck(coreSwitch []int, movedSet map[int]bool) error {
+func (s *Session) switchCapacityCheck(coreSwitch []int, moved []int) error {
 	T := s.ev.p.SlotTableSize
-	checked := make(map[int]bool, 2*len(movedSet))
-	for c := range movedSet {
+	buf := s.sc.swCheck[:0]
+	for _, c := range moved {
 		for _, sw := range [2]int{coreSwitch[c], s.cs[c]} {
-			if sw < 0 || checked[sw] {
+			if sw < 0 {
 				continue
 			}
-			checked[sw] = true
-			cap := s.ev.top.Degree(topology.SwitchID(sw)) * T
-			for g, pairs := range s.ev.groupPairs {
-				sumOut, sumIn := 0, 0
-				for _, pd := range pairs {
-					srcS, dstS := coreSwitch[pd.key.Src], coreSwitch[pd.key.Dst]
-					if srcS == sw && dstS != sw {
-						sumOut += pd.slots
-					}
-					if dstS == sw && srcS != sw {
-						sumIn += pd.slots
-					}
+			seen := false
+			for _, s2 := range buf {
+				if s2 == sw {
+					seen = true
+					break
 				}
-				if sumOut > cap || sumIn > cap {
-					return fmt.Errorf("core: switch %d over mesh capacity in group %d (%d egress / %d ingress slots of %d)",
-						sw, g, sumOut, sumIn, cap)
+			}
+			if !seen {
+				buf = append(buf, sw)
+			}
+		}
+	}
+	s.sc.swCheck = buf
+	for _, sw := range buf {
+		cap := s.ev.top.Degree(topology.SwitchID(sw)) * T
+		for _, pairs := range s.ev.groupPairs {
+			sumOut, sumIn := 0, 0
+			for _, pd := range pairs {
+				srcS, dstS := coreSwitch[pd.key.Src], coreSwitch[pd.key.Dst]
+				if srcS == sw && dstS != sw {
+					sumOut += pd.slots
 				}
+				if dstS == sw && srcS != sw {
+					sumIn += pd.slots
+				}
+			}
+			if sumOut > cap || sumIn > cap {
+				return errSwitchCapacity
 			}
 		}
 	}
 	return nil
 }
 
-// Keep commits the pending move.
+// Keep commits the pending move and recycles the displaced records.
 func (s *Session) Keep() {
-	if s.pending == nil {
+	if !s.pending {
 		return
 	}
-	s.stats = s.pending.stats
-	s.pending = nil
+	pm := &s.pm
+	s.stats = pm.stats
+	for _, g := range pm.rebuilt {
+		for i, r := range pm.snap[g] {
+			if r != nil {
+				s.putRec(r)
+				pm.snap[g][i] = nil
+			}
+		}
+	}
+	pm.rebuilt = pm.rebuilt[:0]
+	for g := range pm.oldByGroup {
+		for _, r := range pm.oldByGroup[g] {
+			s.putRec(r)
+		}
+		pm.oldByGroup[g] = pm.oldByGroup[g][:0]
+		pm.newByGroup[g] = pm.newByGroup[g][:0]
+	}
+	pm.swapped = false
+	s.pending = false
 }
 
 // Undo rolls back the pending move, restoring the previous configuration
 // exactly.
 func (s *Session) Undo() {
-	pm := s.pending
-	if pm == nil {
+	if !s.pending {
 		return
 	}
-	s.pending = nil
-	s.rollbackMove(pm)
+	s.pending = false
+	s.rollbackMove()
 }
 
 // Result materializes the current committed configuration as a complete
 // Result, equivalent in shape to an EvaluateFixed output. It must not be
-// called while a move is pending.
+// called while a move is pending. All reservation data is copied out of the
+// session: the session recycles its record buffers move over move, so a
+// result that aliased them would be corrupted by the next TryMove.
 func (s *Session) Result() *Result {
-	if s.pending != nil {
+	if s.pending {
 		panic("core: Session.Result with a pending move")
 	}
 	mapping := &Mapping{
@@ -463,9 +726,16 @@ func (s *Session) Result() *Result {
 	// One shared Assignment per (group, pair), mirroring the mapper.
 	asn := make([]map[traffic.PairKey]*Assignment, len(s.recs))
 	for g := range s.recs {
-		asn[g] = make(map[traffic.PairKey]*Assignment, len(s.recs[g]))
-		for key, r := range s.recs[g] {
-			asn[g][key] = &Assignment{Path: r.path, Starts: r.start, SlotCount: len(r.start)}
+		asn[g] = make(map[traffic.PairKey]*Assignment)
+		for _, r := range s.recs[g] {
+			if r == nil {
+				continue
+			}
+			asn[g][r.key] = &Assignment{
+				Path:      append([]int(nil), r.path...),
+				Starts:    append([]int(nil), r.start...),
+				SlotCount: len(r.start),
+			}
 		}
 	}
 	mapping.Configs = make([]*Config, len(s.ev.prep.UseCases))
@@ -483,33 +753,32 @@ func (s *Session) Result() *Result {
 
 // statsFromRecs recomputes the summary statistics of the current
 // reservation set — the same quantities computeStats derives from a
-// finished Mapping, without materializing one.
+// finished Mapping, without materializing one. The iteration order matches
+// the legacy per-use-case walk exactly, so the floating-point sums are
+// bit-identical to the one-shot path's.
 func (s *Session) statsFromRecs() Stats {
 	var st Stats
+	T := s.ev.p.SlotTableSize
+	minFree := T
 	for _, state := range s.states {
-		for l := 0; l < state.NumLinks(); l++ {
-			if u := state.Utilization(l); u > st.MaxLinkUtil {
-				st.MaxLinkUtil = u
-			}
+		if f := state.MinFree(); f < minFree {
+			minFree = f
 		}
 	}
+	st.MaxLinkUtil = 1 - float64(minFree)/float64(T)
 	var bwHops, bwSum float64
 	for uc := range s.ev.prep.UseCases {
 		g := s.ev.prep.GroupOf[uc]
-		for _, ps := range s.ev.ucPairs[uc] {
-			r := s.recs[g][ps.key]
+		recsG := s.recs[g]
+		stats := s.ev.ucPairs[uc]
+		for i, idx := range s.ev.ucPairIdx[uc] {
+			r := recsG[idx]
 			if r == nil {
 				continue
 			}
 			st.SlotsReserved += len(r.start) * len(r.path)
-			hops := 0
-			for _, l := range r.path {
-				if l < s.ev.meshLinks {
-					hops++
-				}
-			}
-			bwHops += ps.bw * float64(hops)
-			bwSum += ps.bw
+			bwHops += stats[i].bw * float64(r.hops)
+			bwSum += stats[i].bw
 		}
 	}
 	if bwSum > 0 {

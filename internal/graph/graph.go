@@ -240,20 +240,80 @@ func (g *Directed) PathVertices(path []int) []int {
 	return verts
 }
 
+// SPScratch is the reusable state of repeated shortest-path queries on one
+// goroutine: the Dijkstra working arrays, the heap and the path buffer. A
+// zero SPScratch is ready to use; buffers grow to the graph size on first
+// use and are retained. Not safe for concurrent use — one scratch per
+// searching goroutine, like tdma.State.
+type SPScratch struct {
+	dist []float64
+	via  []int
+	done []bool
+	h    heapF
+	path []int
+}
+
+// grow sizes the working arrays for an n-vertex graph.
+func (sc *SPScratch) grow(n int) {
+	if cap(sc.dist) < n {
+		sc.dist = make([]float64, n)
+		sc.via = make([]int, n)
+		sc.done = make([]bool, n)
+	}
+	sc.dist = sc.dist[:n]
+	sc.via = sc.via[:n]
+	sc.done = sc.done[:n]
+}
+
+// ShortestPathInto is ShortestPath with every working allocation drawn from
+// the scratch: the returned path slice is owned by the scratch and valid
+// only until its next use. Results are identical to ShortestPath.
+func (g *Directed) ShortestPathInto(src, dst int, cost CostFunc, sc *SPScratch) ([]int, float64, error) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return nil, 0, fmt.Errorf("graph: shortest path endpoints (%d,%d) out of range [0,%d)", src, dst, g.n)
+	}
+	dist, via := g.dijkstraInto(src, cost, dst, sc)
+	if via == nil || (dist[dst] != dist[dst]) || dist[dst] < 0 { // NaN or unreached marker
+		return nil, 0, ErrNoPath
+	}
+	if via[dst] == -1 && src != dst {
+		return nil, 0, ErrNoPath
+	}
+	// Reconstruct in reverse, then flip in place.
+	path := sc.path[:0]
+	for v := dst; v != src; {
+		a := via[v]
+		path = append(path, a)
+		v = g.arcs[a].From
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	sc.path = path
+	return path, dist[dst], nil
+}
+
 const unreached = -1.0
 
 // dijkstra computes least costs from src. dist[v] < 0 marks unreachable.
 // If stop >= 0, the search terminates once stop is settled.
 func (g *Directed) dijkstra(src int, cost CostFunc, stop int) ([]float64, []int) {
-	dist := make([]float64, g.n)
-	via := make([]int, g.n)
-	done := make([]bool, g.n)
+	return g.dijkstraInto(src, cost, stop, &SPScratch{})
+}
+
+// dijkstraInto is dijkstra over scratch-owned arrays. The returned slices
+// alias the scratch.
+func (g *Directed) dijkstraInto(src int, cost CostFunc, stop int, sc *SPScratch) ([]float64, []int) {
+	sc.grow(g.n)
+	dist, via, done := sc.dist, sc.via, sc.done
 	for i := range dist {
 		dist[i] = unreached
 		via[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0
-	h := &heapF{}
+	h := &sc.h
+	h.a = h.a[:0]
 	h.push(item{v: src, d: 0})
 	for h.len() > 0 {
 		it := h.pop()

@@ -309,6 +309,12 @@ func NewTable(top *topology.Topology, p CostParams) *Table {
 // Candidates is Candidates computed against the cached minimal-path
 // enumeration. Results are identical to the package-level function.
 func (t *Table) Candidates(st *tdma.State, src, dst topology.SwitchID, neededSlots int, p CostParams) []Path {
+	return assemble(t.top, st, src, dst, neededSlots, p, t.minimalFor(src, dst), t.max)
+}
+
+// minimalFor returns (computing and caching on first use) the minimal-path
+// enumeration for one switch pair.
+func (t *Table) minimalFor(src, dst topology.SwitchID) []Path {
 	key := pairIndex{src, dst}
 	t.mu.RLock()
 	minimal, ok := t.minimal[key]
@@ -319,7 +325,89 @@ func (t *Table) Candidates(st *tdma.State, src, dst topology.SwitchID, neededSlo
 		t.minimal[key] = minimal
 		t.mu.Unlock()
 	}
-	return assemble(t.top, st, src, dst, neededSlots, p, minimal, t.max)
+	return minimal
+}
+
+// Scratch holds the reusable working state of repeated candidate queries on
+// one goroutine: the Dijkstra scratch, the cost closure, and the scoring and
+// output buffers. Obtain one with NewScratch; a Scratch is not safe for
+// concurrent use, and the paths a CandidatesInto call returns are valid only
+// until the scratch's next use.
+type Scratch struct {
+	sp     graph.SPScratch
+	st     *tdma.State
+	needed int
+	cp     CostParams
+	costFn graph.CostFunc
+	lc     Path
+	scored []scoredPath
+	out    []Path
+}
+
+type scoredPath struct {
+	path Path
+	cost float64
+}
+
+// NewScratch returns an empty candidate-query scratch. The cost closure is
+// built once here, so per-query path searches capture no new state.
+func NewScratch() *Scratch {
+	sc := &Scratch{}
+	sc.costFn = func(a graph.Arc) float64 {
+		return LinkCost(sc.st, a.ID, sc.needed, sc.cp)
+	}
+	return sc
+}
+
+// CandidatesInto is Table.Candidates with every working allocation drawn
+// from the scratch. The returned slice — and the least-cost path it may
+// contain — are owned by the scratch and overwritten by the next call;
+// minimal paths in the slice alias the table's immutable cache. Results are
+// identical to Candidates.
+func (t *Table) CandidatesInto(sc *Scratch, st *tdma.State, src, dst topology.SwitchID, neededSlots int, p CostParams) []Path {
+	minimal := t.minimalFor(src, dst)
+	sc.st, sc.needed, sc.cp = st, neededSlots, p
+	sc.scored = sc.scored[:0]
+	var lc Path
+	if arcs, _, err := t.top.Graph().ShortestPathInto(int(src), int(dst), sc.costFn, &sc.sp); err == nil {
+		buf := sc.lc[:0]
+		for _, a := range arcs {
+			buf = append(buf, topology.LinkID(a))
+		}
+		sc.lc = buf
+		if c := PathCost(st, buf, neededSlots, p); !math.IsInf(c, 1) {
+			lc = buf
+			sc.scored = append(sc.scored, scoredPath{buf, c})
+		}
+	}
+	for _, m := range minimal {
+		if lc != nil && pathEqual(m, lc) {
+			continue
+		}
+		c := PathCost(st, m, neededSlots, p)
+		if math.IsInf(c, 1) {
+			continue
+		}
+		sc.scored = append(sc.scored, scoredPath{m, c})
+	}
+	// Stable insertion sort by cost: equal-cost candidates keep their
+	// insertion order, matching assemble's sort.SliceStable without its
+	// reflection allocations (the candidate set is at most 2*max+1 paths).
+	cands := sc.scored
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].cost < cands[j-1].cost; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	if len(cands) > t.max {
+		cands = cands[:t.max]
+	}
+	out := sc.out[:0]
+	for _, c := range cands {
+		out = append(out, c.path)
+	}
+	sc.out = out
+	return out
 }
 
 // assemble scores, deduplicates, orders and trims the candidate set from the

@@ -85,6 +85,28 @@ type annealer struct {
 	// counts accumulate the run's search effort; every emitted event carries
 	// the totals so far, so observers need no hook into the move loop.
 	counts Counts
+
+	// Proposal scratch, reused across the whole run: the candidate
+	// placement, the NI occupancy and the free-seat list. The session's
+	// move path allocates nothing, and with these buffers neither does the
+	// proposal loop around it.
+	csBuf, cnBuf []int
+	niLoad       []int
+	freeBuf      []int
+}
+
+// ensureScratch sizes the proposal buffers for a chain on a fabric with
+// numNIs network interfaces.
+func (a *annealer) ensureScratch(numNIs int) {
+	if a.csBuf == nil {
+		a.csBuf = make([]int, a.numCores)
+		a.cnBuf = make([]int, a.numCores)
+	}
+	if cap(a.niLoad) < numNIs {
+		a.niLoad = make([]int, numNIs)
+		a.freeBuf = make([]int, 0, numNIs)
+	}
+	a.niLoad = a.niLoad[:numNIs]
 }
 
 // run anneals the greedy solution in place, then probes every smaller mesh
@@ -97,6 +119,15 @@ func (a *annealer) run(ctx context.Context, base *core.Result) {
 	for _, dim := range a.shrinkDims(base, len(attached)) {
 		if ctx.Err() != nil {
 			return
+		}
+		// Adopt a better incumbent from the portfolio's exchange before
+		// committing restart effort: a mesh size some other member already
+		// beat is not worth probing, and the adopted result seeds the
+		// remaining search from the pool's best placement.
+		if a.opts.board != nil {
+			if inc := a.opts.board.get(); inc != nil && inc.cost < a.bestCost-1e-12 {
+				a.best, a.bestCost = inc.res, inc.cost
+			}
 		}
 		if dim.Switches() >= a.best.Mapping.SwitchCount() {
 			continue
@@ -158,6 +189,9 @@ func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached
 	if len(attached) > len(seats) {
 		return nil // not enough seats: the probe cannot host every core
 	}
+	if a.opts.SpecK > 1 {
+		return a.feasibleStartSpec(ctx, ev, seats, attached)
+	}
 	for r := 0; r < a.opts.Restarts; r++ {
 		if ctx.Err() != nil {
 			return nil
@@ -179,6 +213,23 @@ func (a *annealer) feasibleStart(ctx context.Context, dim topology.Dim, attached
 		}
 	}
 	return nil
+}
+
+// shuffledPlacement draws one random placement of the attached cores over
+// the shuffled seats (the serial restart probe's body, factored out so the
+// speculative prober generates identical candidates from the chain PRNG).
+func (a *annealer) shuffledPlacement(seats []int, attached []int) (cs, cn []int) {
+	a.rng.Shuffle(len(seats), func(i, j int) { seats[i], seats[j] = seats[j], seats[i] })
+	cs = make([]int, a.numCores)
+	cn = make([]int, a.numCores)
+	for i := range cs {
+		cs[i], cn[i] = -1, -1
+	}
+	for i, c := range attached {
+		cn[c] = seats[i]
+		cs[c] = seats[i] / a.p.NIsPerSwitch
+	}
+	return cs, cn
 }
 
 // annealFrom runs one simulated-annealing chain starting at the given
@@ -206,11 +257,16 @@ func (a *annealer) annealFrom(ctx context.Context, start *core.Result) {
 	}
 	switches := ev.Topology().NumSwitches()
 	numNIs := switches * a.p.NIsPerSwitch
+	a.ensureScratch(numNIs)
 	curCost := a.opts.Weights.OfParts(switches, sess.Stats())
 	// Initial temperature accepts ~5%-of-cost uphill moves; cool to 1/1000 of
 	// that over the run.
 	t0 := 0.05*curCost + 1e-9
 	alpha := math.Pow(1e-3, 1/float64(a.opts.Iters))
+	if a.opts.SpecK > 1 {
+		a.annealBatch(ctx, sess, switches, attached, curCost, t0, alpha)
+		return
+	}
 	temp := t0
 	for it := 0; it < a.opts.Iters; it++ {
 		if ctx.Err() != nil {
@@ -246,8 +302,9 @@ func (a *annealer) annealFrom(ctx context.Context, start *core.Result) {
 // the move is left pending on the session (caller decides Keep/Undo);
 // returns ok=false when no feasible neighbour was found.
 func (a *annealer) propose(sess *core.Session, numNIs int, attached []int) (core.Stats, bool) {
-	cs, cn := sess.Placement()
-	niLoad := niOccupancy(cn, numNIs)
+	cs, cn := a.csBuf, a.cnBuf
+	sess.PlacementInto(cs, cn)
+	niLoad := niOccupancyInto(a.niLoad, cn)
 
 	var moved [2]int
 	// forbidden marks the repaired core's original NI on relocate moves:
@@ -268,7 +325,8 @@ func (a *annealer) propose(sess *core.Session, numNIs int, attached []int) (core
 	} else {
 		// Relocate one core to an NI with a free seat.
 		x := attached[a.rng.Intn(len(attached))]
-		free := freeNIs(niLoad, cn[x], a.p.CoresPerNI)
+		free := freeNIsInto(a.freeBuf[:0], niLoad, cn[x], a.p.CoresPerNI)
+		a.freeBuf = free
 		if len(free) == 0 {
 			return core.Stats{}, false
 		}
@@ -307,6 +365,9 @@ func (a *annealer) propose(sess *core.Session, numNIs int, attached []int) (core
 func (a *annealer) consider(r *core.Result) {
 	if c := a.opts.Weights.Of(r); c < a.bestCost-1e-12 {
 		a.best, a.bestCost = r, c
+		if a.opts.board != nil {
+			a.opts.board.publish(r, c)
+		}
 		a.opts.emitCounts("anneal", StageImproved, r, a.counts)
 	}
 }
@@ -322,9 +383,12 @@ func attachedCores(coreSwitch []int) []int {
 	return out
 }
 
-// niOccupancy counts the cores seated on each NI.
-func niOccupancy(coreNI []int, numNIs int) []int {
-	load := make([]int, numNIs)
+// niOccupancyInto counts the cores seated on each NI into load, which fixes
+// the NI count.
+func niOccupancyInto(load []int, coreNI []int) []int {
+	for i := range load {
+		load[i] = 0
+	}
 	for _, ni := range coreNI {
 		if ni >= 0 {
 			load[ni]++
@@ -333,9 +397,9 @@ func niOccupancy(coreNI []int, numNIs int) []int {
 	return load
 }
 
-// freeNIs lists the NIs other than `exclude` with a free core seat.
-func freeNIs(load []int, exclude, coresPerNI int) []int {
-	var out []int
+// freeNIsInto appends the NIs other than `exclude` with a free core seat to
+// out.
+func freeNIsInto(out []int, load []int, exclude, coresPerNI int) []int {
 	for ni, n := range load {
 		if ni != exclude && n < coresPerNI {
 			out = append(out, ni)

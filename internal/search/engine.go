@@ -58,6 +58,17 @@ type Options struct {
 	Workers int
 	// Iters is the number of annealing moves per start.
 	Iters int
+	// SpecK enables speculative move evaluation: each annealing step
+	// proposes SpecK candidate moves of the current placement and scores
+	// them concurrently, one per cloned evaluation session, accepting the
+	// best improving candidate (with a Metropolis draw on the least-bad one
+	// when nothing improves). Iters still counts candidate evaluations, so
+	// runs at different SpecK spend comparable search effort. 0 and 1 run
+	// the serial chain — the speculative path is never entered, and results
+	// are identical to previous releases. Values above 64 are rejected:
+	// past that the replay synchronization outweighs any conceivable core
+	// count.
+	SpecK int
 	// Restarts is how many random placements the annealer tries per
 	// smaller-than-greedy mesh size when probing for a feasible start.
 	Restarts int
@@ -81,6 +92,12 @@ type Options struct {
 	// precomputation (validation, flow templates, candidate-path tables)
 	// happens once across the whole pool.
 	evals *evalCache
+	// board, when set, is the portfolio's shared incumbent exchange:
+	// speculative members publish strict improvements and adopt better
+	// incumbents between chains. Only wired up when SpecK > 1 — the
+	// exchange makes member results depend on scheduling, which the
+	// serial portfolio's determinism guarantee forbids.
+	board *incumbentBoard
 }
 
 // DefaultOptions returns the evaluation defaults: a modest annealing length
@@ -108,6 +125,8 @@ func (o Options) Validate() error {
 		return fmt.Errorf("search: budget %v invalid", o.Budget)
 	case o.Workers < 0:
 		return fmt.Errorf("search: workers %d invalid", o.Workers)
+	case o.SpecK < 0 || o.SpecK > 64:
+		return fmt.Errorf("search: speculation width %d invalid (want 0..64)", o.SpecK)
 	}
 	return nil
 }

@@ -51,6 +51,8 @@ type serviceMetrics struct {
 	searchMoves        *metrics.CounterVec // moves tried by engine
 	searchAccepted     *metrics.CounterVec // moves accepted by engine
 	searchRestarts     *metrics.CounterVec // shrink-probe restarts by engine
+	searchSpeculated   *metrics.CounterVec // candidates evaluated in speculative batches
+	searchSpecAccepted *metrics.CounterVec // speculative batches that committed a candidate
 }
 
 // newServiceMetrics registers the service's metric families on reg. The
@@ -80,6 +82,10 @@ func newServiceMetrics(reg *metrics.Registry, s *Service) *serviceMetrics {
 			"Annealing moves accepted, from the engines' progress counters.", "engine"),
 		searchRestarts: reg.CounterVec("noc_search_restarts_total",
 			"Random-restart placements probed on shrunk fabrics, by engine.", "engine"),
+		searchSpeculated: reg.CounterVec("noc_search_speculated_total",
+			"Candidate moves evaluated in speculative batches, by engine.", "engine"),
+		searchSpecAccepted: reg.CounterVec("noc_search_speculation_accepted_total",
+			"Speculative batches that committed a candidate, by engine; divided by the batch count of noc_search_speculated_total this is the speculation hit rate.", "engine"),
 	}
 
 	reg.GaugeFunc("noc_uptime_seconds", "Seconds since process start.",
@@ -120,6 +126,10 @@ func (m *serviceMetrics) progressTap(next func(search.Event)) func(search.Event)
 			m.searchMoves.WithLabelValues(e.Engine).Add(e.Moves)
 			m.searchAccepted.WithLabelValues(e.Engine).Add(e.Accepted)
 			m.searchRestarts.WithLabelValues(e.Engine).Add(e.Restarts)
+			if e.Speculated > 0 {
+				m.searchSpeculated.WithLabelValues(e.Engine).Add(e.Speculated)
+				m.searchSpecAccepted.WithLabelValues(e.Engine).Add(e.SpecAccepted)
+			}
 		}
 		if next != nil {
 			next(e)

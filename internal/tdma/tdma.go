@@ -210,54 +210,71 @@ func (s *State) AvailableStarts(path []int) []int {
 // worst-case waiting gap. It returns nil, false if fewer than n aligned
 // starts exist. The path must be non-empty.
 func (s *State) FindAligned(path []int, n int) ([]int, bool) {
+	return s.FindAlignedInto(path, n, nil)
+}
+
+// FindAlignedInto is FindAligned writing the chosen starts into buf
+// (append semantics from buf[:0]; pass nil to allocate). With a word-sized
+// table (slots <= 64) a successful probe performs no heap allocation beyond
+// buf's one-time growth — the hot evaluation path reuses one buffer per
+// record. The returned starts are sorted ascending, identical to
+// FindAligned's.
+func (s *State) FindAlignedInto(path []int, n int, buf []int) ([]int, bool) {
 	if n <= 0 || len(path) == 0 {
 		return nil, false
 	}
-	var avail []int
 	if s.masks != nil {
-		// The popcount decides feasibility before any slice exists — on
-		// loaded fabrics most alignment probes fail, and a failed probe is
-		// allocation-free.
+		// The popcount decides feasibility before any slot is materialized —
+		// on loaded fabrics most alignment probes fail, and a failed probe
+		// costs one rotate-AND per link.
 		acc := s.startMask(path)
 		count := bits.OnesCount64(acc)
 		if count < n {
 			return nil, false
 		}
-		avail = make([]int, 0, count)
-		for a := acc; a != 0; a &= a - 1 {
-			avail = append(avail, bits.TrailingZeros64(a))
+		chosen := buf[:0]
+		if count == n {
+			for a := acc; a != 0; a &= a - 1 {
+				chosen = append(chosen, bits.TrailingZeros64(a))
+			}
+			return chosen, true
 		}
-	} else {
-		avail = s.AvailableStarts(path)
-		if len(avail) < n {
-			return nil, false
-		}
-	}
-	if len(avail) == n {
-		return avail, true
-	}
-	// Greedy even spacing: for each ideal position i*T/n choose the nearest
-	// unused available slot (cyclically). A word-sized bitmask tracks the
-	// chosen slots when the table fits one.
-	chosen := make([]int, 0, n)
-	if s.slots <= 64 {
+		// Greedy even spacing: for each ideal position i*T/n choose the
+		// nearest unused available slot (cyclically), scanning the mask's set
+		// bits ascending — the same order the avail slice used to impose.
 		var used uint64
 		for i := 0; i < n; i++ {
 			target := i * s.slots / n
 			best, bestDist := -1, s.slots+1
-			for _, a := range avail {
-				if used>>a&1 == 1 {
-					continue
-				}
-				d := cyclicDist(a, target, s.slots)
-				if d < bestDist || (d == bestDist && a < best) {
-					best, bestDist = a, d
+			for a := acc &^ used; a != 0; a &= a - 1 {
+				cand := bits.TrailingZeros64(a)
+				d := cyclicDist(cand, target, s.slots)
+				if d < bestDist || (d == bestDist && cand < best) {
+					best, bestDist = cand, d
 				}
 			}
 			used |= uint64(1) << best
 			chosen = append(chosen, best)
 		}
-	} else {
+		// Insertion sort: n is small and the slice is nearly sorted.
+		for i := 1; i < len(chosen); i++ {
+			for j := i; j > 0 && chosen[j] < chosen[j-1]; j-- {
+				chosen[j], chosen[j-1] = chosen[j-1], chosen[j]
+			}
+		}
+		return chosen, true
+	}
+	avail := s.AvailableStarts(path)
+	if len(avail) < n {
+		return nil, false
+	}
+	if len(avail) == n {
+		return append(buf[:0], avail...), true
+	}
+	// Large-table fallback (slots > 64): correctness over allocation
+	// discipline.
+	chosen := buf[:0]
+	{
 		used := make(map[int]bool, n)
 		for i := 0; i < n; i++ {
 			target := i * s.slots / n
@@ -350,6 +367,19 @@ func MaxGap(starts []int, slots int) int {
 	}
 	sorted := append([]int(nil), starts...)
 	sort.Ints(sorted)
+	return maxGapSorted(sorted, slots)
+}
+
+// MaxGapSorted is MaxGap for starts already sorted ascending (the form
+// FindAligned returns), skipping the defensive copy-and-sort.
+func MaxGapSorted(starts []int, slots int) int {
+	if len(starts) == 0 {
+		return slots
+	}
+	return maxGapSorted(starts, slots)
+}
+
+func maxGapSorted(sorted []int, slots int) int {
 	max := 0
 	for i := range sorted {
 		next := sorted[(i+1)%len(sorted)]
@@ -369,6 +399,39 @@ func MaxGap(starts []int, slots int) int {
 // path plus the slot in which the flit is serialized.
 func WorstCaseLatencySlots(starts []int, pathLen, slots int) int {
 	return MaxGap(starts, slots) + pathLen + 1
+}
+
+// WorstCaseLatencySlotsSorted is WorstCaseLatencySlots for starts already
+// sorted ascending.
+func WorstCaseLatencySlotsSorted(starts []int, pathLen, slots int) int {
+	return MaxGapSorted(starts, slots) + pathLen + 1
+}
+
+// MinFree returns the smallest free-slot count over all links — the
+// saturation the worst link has reached. It scans the incrementally
+// maintained counters, so sessions derive the max-utilization statistic
+// without walking slot tables.
+func (s *State) MinFree() int {
+	min := s.slots
+	for _, f := range s.free {
+		if f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+// CopyFrom overwrites this state with src's contents without allocating.
+// The two states must have identical shape (same link count and table size).
+func (s *State) CopyFrom(src *State) error {
+	if s.numLinks != src.numLinks || s.slots != src.slots {
+		return fmt.Errorf("tdma: copy between mismatched states (%d/%d links, %d/%d slots)",
+			s.numLinks, src.numLinks, s.slots, src.slots)
+	}
+	copy(s.tables, src.tables)
+	copy(s.free, src.free)
+	copy(s.masks, src.masks)
+	return nil
 }
 
 // SlotsNeeded returns how many slots a flow of bandwidthMBs requires when
