@@ -37,11 +37,17 @@ func runRemote(stdout, stderr io.Writer, server string, timeout time.Duration, i
 		return err
 	}
 
-	r := resp.Result
 	verdict := "computed"
 	if resp.Cached {
 		verdict = "cache hit"
 	}
+	return printRemoteSummary(stdout, stderr, server, verdict, resp, freq)
+}
+
+// printRemoteSummary prints a server-side mapping result in the same shape
+// as a local run, tagged with where it came from.
+func printRemoteSummary(stdout, stderr io.Writer, server, verdict string, resp *noc.MapResponse, freq float64) error {
+	r := resp.Result
 	fabric := r.Topology
 	if fabric == "" {
 		fabric = "mesh"
@@ -62,4 +68,58 @@ func runRemote(stdout, stderr io.Writer, server string, timeout time.Duration, i
 	fmt.Fprintf(stdout, "area: %.3f mm^2 (switches, 0.13um model); power: %.1f mW at %.0f MHz\n",
 		r.AreaMM2, r.PowerMW, freq)
 	return nil
+}
+
+// runRemoteStream maps the design in serve-then-improve mode: every
+// incumbent the daemon streams prints one line to stderr as it lands — the
+// greedy answer within milliseconds, then each strictly better result the
+// background engine finds — and the final result prints in the usual
+// summary shape once the job's budget is spent.
+func runRemoteStream(stdout, stderr io.Writer, server string, timeout time.Duration, in, engine, topo string,
+	seed int64, seeds int, budget time.Duration, freq float64, slots, maxDim int, improve bool) error {
+	d, err := noc.LoadDesignFile(in)
+	if err != nil {
+		return err
+	}
+	client := noc.NewClient(server, noc.WithTimeout(timeout))
+	start := time.Now()
+	improvements, err := client.MapStream(context.Background(), d,
+		noc.WithEngine(engine),
+		noc.WithTopology(topo),
+		noc.WithSeed(seed),
+		noc.WithSeeds(seeds),
+		noc.WithBudget(budget),
+		noc.WithFrequencyMHz(freq),
+		noc.WithSlotTableSize(slots),
+		noc.WithMaxMeshDim(maxDim),
+		noc.WithImprove(improve),
+	)
+	if err != nil {
+		return err
+	}
+	var final *noc.MapResponse
+	for imp := range improvements {
+		if imp.Err != nil {
+			return imp.Err
+		}
+		line := fmt.Sprintf("stream: [+%.3fs] #%d %s %s cost=%.1f",
+			time.Since(start).Seconds(), imp.Seq, imp.Stage, imp.Engine, imp.Cost)
+		if imp.Response != nil {
+			line += fmt.Sprintf(" switches=%d", imp.Response.Result.Switches)
+		}
+		if imp.Counts.Moves > 0 {
+			line += fmt.Sprintf(" moves=%d accepted=%d", imp.Counts.Moves, imp.Counts.Accepted)
+		}
+		fmt.Fprintln(stderr, line)
+		if imp.Final {
+			if imp.Stage == "failed" {
+				return fmt.Errorf("job %s failed: %s", imp.Job, imp.Error)
+			}
+			final = imp.Response
+		}
+	}
+	if final == nil {
+		return fmt.Errorf("stream ended without a final result")
+	}
+	return printRemoteSummary(stdout, stderr, server, "streamed", final, freq)
 }

@@ -14,6 +14,9 @@
 // With -server URL the design is mapped by a running nocserved daemon
 // instead of in-process, so repeated invocations share its result cache;
 // -timeout bounds how long an unresponsive daemon may stall the call.
+// Adding -stream switches to serve-then-improve mode: the daemon's instant
+// greedy result and every strictly better incumbent print to stderr as they
+// land, and the final result prints as usual when the budget is spent.
 package main
 
 import (
@@ -63,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	placement := fs.String("placement", "", "write core placement table to this file")
 	simulate := fs.Bool("sim", false, "validate every configuration with the slot-accurate simulator")
 	server := fs.String("server", "", "delegate to a running nocserved at this base URL (e.g. http://localhost:8080)")
+	stream := fs.Bool("stream", false,
+		"serve-then-improve: print the daemon's instant greedy result, then stream each strictly better incumbent as the background engine finds it (requires -server)")
 	timeout := fs.Duration("timeout", 0, "give up on an unresponsive -server after this long (0 = wait forever)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,11 +106,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "nocmap: -speculate tunes in-process engines and runs locally; drop -server to use it")
 			return 2
 		}
-		if err := runRemote(stdout, stderr, *server, *timeout, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
+		remote := runRemote
+		if *stream {
+			remote = runRemoteStream
+		}
+		if err := remote(stdout, stderr, *server, *timeout, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
 			fmt.Fprintln(stderr, "nocmap:", err)
 			return 1
 		}
 		return 0
+	}
+	if *stream {
+		fmt.Fprintln(stderr, "nocmap: -stream consumes a daemon's event stream; pass -server URL to use it")
+		return 2
 	}
 	if err := runLocal(stdout, stderr, *in, *engine, *topoFlag, *seed, *seeds, *speculate, *budget, *freq, *slots, *maxDim, *improve, *progress, *vhdl, *config, *placement, *simulate); err != nil {
 		fmt.Fprintln(stderr, "nocmap:", err)

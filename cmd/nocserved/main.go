@@ -11,9 +11,11 @@
 //
 // Endpoints (versioned surface, see docs/cli.md for schemas):
 //
-//	POST /v1/map       map one design (async with {"async":true})
+//	POST /v1/map       map one design (async with {"async":true},
+//	                   serve-then-improve with {"mode":"stream"})
 //	POST /v1/batch     map many designs in one call
 //	GET  /v1/jobs/{id} poll an async job
+//	GET  /v1/jobs/{id}/events  anytime-results stream (SSE; ?mode=poll)
 //	GET  /v1/stats     cache and pool gauges
 //	GET  /v1/metrics   Prometheus text exposition
 //	GET  /v1/version   build identity

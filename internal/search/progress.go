@@ -49,6 +49,14 @@ type Event struct {
 	// on the events so observers (the service's metrics layer, the CLI) see
 	// search effort without any engine-side hook beyond this plumbing.
 	Counts
+
+	// Result is the engine's incumbent snapshot at the event: a fully
+	// materialized result, safe to retain past the callback (the annealer's
+	// Session.Result copies every reservation out of the session's recycled
+	// buffers). It never serializes — wire consumers receive the summarized
+	// form — and is what lets the mapping service turn progress events into
+	// servable anytime results.
+	Result *core.Result `json:"-"`
 }
 
 // Counts are cumulative search-effort counters for one engine run: candidate
@@ -86,6 +94,7 @@ func (o Options) emitCounts(engine string, stage Stage, r *core.Result, c Counts
 		Cost:     o.Weights.Of(r),
 		Stats:    r.Stats,
 		Counts:   c,
+		Result:   r,
 	})
 }
 

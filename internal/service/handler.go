@@ -48,6 +48,23 @@ type MapRequest struct {
 	// Async makes POST /map return a job ID immediately (HTTP 202) instead
 	// of the result; poll GET /jobs/{id} for completion.
 	Async bool `json:"async,omitempty"`
+	// Mode selects the answer discipline. "stream" serves-then-improves:
+	// the greedy result is computed inline and returned with HTTP 202 in
+	// milliseconds while the requested engine keeps improving in the
+	// background; incumbent improvements arrive on GET /jobs/{id}/events
+	// (SSE, or long-poll with ?mode=poll). Empty (or "sync") keeps the
+	// blocking behavior. Mode and Async are mutually exclusive.
+	Mode string `json:"mode,omitempty"`
+	// WaitMS, with the stream mode, bounds how long POST /map waits for the
+	// background improvement before answering with the best incumbent so
+	// far — the "pay only for the quality you wait for" knob. WaitMS alone
+	// (no Mode) implies stream mode.
+	WaitMS int64 `json:"wait_ms,omitempty"`
+}
+
+// streaming reports whether the request asked for serve-then-improve mode.
+func (mr *MapRequest) streaming() bool {
+	return mr.Mode == "stream" || (mr.Mode == "" && mr.WaitMS > 0)
 }
 
 // ToRequest validates the wire form into a service Request.
@@ -133,9 +150,13 @@ type BatchResult struct {
 // NewHandler returns the HTTP facade of the service. The blessed surface is
 // versioned under /v1:
 //
-//	POST /v1/map       — map one design; {"async":true} returns 202 + job ID
+//	POST /v1/map       — map one design; {"async":true} returns 202 + job ID;
+//	                     {"mode":"stream"} serves the greedy result in a 202
+//	                     immediately and improves in the background
 //	POST /v1/batch     — map many designs in one call on the shared pool
 //	GET  /v1/jobs/{id} — job state (queued|running|done|failed) and result
+//	GET  /v1/jobs/{id}/events — serve-then-improve event stream (SSE by
+//	                     default, ?mode=poll long-poll; resume with ?after)
 //	GET  /v1/stats     — cache hit/miss counters and pool gauges
 //	GET  /v1/metrics   — Prometheus text exposition of the service metrics
 //	GET  /v1/version   — build identity (module version, VCS revision)
@@ -202,6 +223,32 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		req.RequestID = RequestIDFrom(r.Context())
+		switch mr.Mode {
+		case "", "sync", "stream":
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: unknown mode %q (valid: sync, stream)", mr.Mode))
+			return
+		}
+		if mr.streaming() {
+			if mr.Async {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("service: async and stream mode are mutually exclusive"))
+				return
+			}
+			st, err := s.SubmitStream(r.Context(), req)
+			if err != nil {
+				writeError(w, statusOf(err), err)
+				return
+			}
+			if mr.WaitMS > 0 && st.State != StateDone && st.State != StateFailed {
+				// Trade patience for quality: wait up to WaitMS for the
+				// background improvement, then answer with the best so far.
+				wctx, cancel := context.WithTimeout(r.Context(), time.Duration(mr.WaitMS)*time.Millisecond)
+				st, _ = s.WaitJob(wctx, st.ID)
+				cancel()
+			}
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
 		if mr.Async {
 			id, err := s.Submit(req)
 			if err != nil {
@@ -232,6 +279,10 @@ func NewHandler(s *Service) http.Handler {
 		}
 		reqs := make([]Request, len(br.Requests))
 		for i := range br.Requests {
+			if br.Requests[i].streaming() {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: stream mode is not supported in a batch; submit it on /v1/map", i))
+				return
+			}
 			req, err := br.Requests[i].ToRequest()
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Errorf("request %d: %w", i, err))
@@ -258,6 +309,10 @@ func NewHandler(s *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, st)
+	})
+
+	handle("GET", "/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveJobEvents(s, w, r)
 	})
 
 	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -307,6 +362,14 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the SSE events route) to the wrapped
+// writer, preserving its http.Flusher capability through the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // statusOf maps service errors to HTTP status codes. Unrecognized errors map

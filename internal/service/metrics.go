@@ -39,7 +39,9 @@ type serviceMetrics struct {
 	cacheHits      *metrics.Counter
 	cacheMisses    *metrics.Counter
 	cacheEvictions *metrics.Counter
+	cacheUpgrades  *metrics.Counter
 	dedupJoins     *metrics.Counter
+	streamEvents   *metrics.Counter
 
 	jobs          *metrics.CounterVec   // by terminal status: done | failed
 	engineSeconds *metrics.HistogramVec // end-to-end engine-run latency by engine
@@ -64,7 +66,9 @@ func newServiceMetrics(reg *metrics.Registry, s *Service) *serviceMetrics {
 		cacheHits:      reg.Counter("noc_cache_hits_total", "Requests answered from the result cache."),
 		cacheMisses:    reg.Counter("noc_cache_misses_total", "Requests that started a new engine run."),
 		cacheEvictions: reg.Counter("noc_cache_evictions_total", "Results evicted from the LRU result cache."),
+		cacheUpgrades:  reg.Counter("noc_cache_upgrades_total", "Cache entries replaced in place by a strictly better result from a streamed run."),
 		dedupJoins:     reg.Counter("noc_dedup_joins_total", "Requests that joined an identical in-flight run (single-flight)."),
+		streamEvents:   reg.Counter("noc_stream_events_total", "Events published on job event logs (serve-then-improve streams)."),
 
 		jobs: reg.CounterVec("noc_jobs_total", "Finished jobs by terminal status.", "status"),
 		engineSeconds: reg.HistogramVec("noc_engine_duration_seconds",

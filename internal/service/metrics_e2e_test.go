@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -83,7 +84,9 @@ func TestMetricsEndToEnd(t *testing.T) {
 	wantMetric(t, cold, "noc_cache_hits_total", "0")
 	wantMetric(t, cold, "noc_cache_misses_total", "0")
 	wantMetric(t, cold, "noc_cache_evictions_total", "0")
+	wantMetric(t, cold, "noc_cache_upgrades_total", "0")
 	wantMetric(t, cold, "noc_dedup_joins_total", "0")
+	wantMetric(t, cold, "noc_stream_events_total", "0")
 	wantMetric(t, cold, "noc_queue_capacity", "64")
 	wantMetric(t, cold, "noc_workers", "2")
 
@@ -135,13 +138,65 @@ func TestMetricsEndToEnd(t *testing.T) {
 	if v := metricValue(t, final, "noc_uptime_seconds"); v == "0" {
 		t.Errorf("noc_uptime_seconds = %s, want > 0", v)
 	}
+	// Every finished job above published exactly its final event on its
+	// stream log (the sync cache hit synthesizes no job): 2 jobs, 2 events.
+	wantMetric(t, final, "noc_stream_events_total", "2")
+	wantMetric(t, final, "noc_cache_upgrades_total", "0")
+
+	// Serve-then-improve: a streamed greedy request completes at admission
+	// with a single done event; a streamed D1 anneal (seed 2 is pinned to
+	// improve past its greedy base) additionally streams a mapped event,
+	// at least one improvement, and upgrades the cache entry in place.
+	seed := int64(2)
+	resp, body := postJSON(t, ts.URL+"/v1/map", MapRequest{
+		Design: designJSON(t, testDesign("metrics-stream")), Engine: "greedy", Mode: "stream",
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("streamed greedy map = %d: %s", resp.StatusCode, body)
+	}
+	afterGreedy := scrapeMetrics(t, ts.URL)
+	wantMetric(t, afterGreedy, "noc_stream_events_total", "3")
+	wantMetric(t, afterGreedy, "noc_cache_upgrades_total", "0")
+
+	resp, body = postJSON(t, ts.URL+"/v1/map", MapRequest{
+		Design: designJSON(t, d1Design(t)), Engine: "anneal", Seed: &seed,
+		Mode: "stream", WaitMS: 30_000,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("streamed anneal map = %d: %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("streamed anneal not done within its wait: %+v", st)
+	}
+	streamed := scrapeMetrics(t, ts.URL)
+	if events := counterOf(t, streamed, "noc_stream_events_total"); events < 6 {
+		// 3 from above + mapped + >=1 improved + done.
+		t.Errorf("noc_stream_events_total = %v after an improving stream, want >= 6", events)
+	}
+	if upgrades := counterOf(t, streamed, "noc_cache_upgrades_total"); upgrades < 1 {
+		t.Errorf("noc_cache_upgrades_total = %v after an improving stream, want >= 1", upgrades)
+	}
 
 	if path := os.Getenv("METRICS_SNAPSHOT_FILE"); path != "" {
-		if err := os.WriteFile(path, []byte(final), 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(streamed), 0o644); err != nil {
 			t.Fatalf("write metrics snapshot: %v", err)
 		}
 		t.Logf("metrics snapshot written to %s", path)
 	}
+}
+
+// counterOf parses one plain counter sample as a number.
+func counterOf(t *testing.T, body, name string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(metricValue(t, body, name), "%g", &v); err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return v
 }
 
 // TestMetricsSearchCounters maps with the real annealer through the service

@@ -191,6 +191,16 @@ type Job struct {
 	enqueued time.Time
 	started  time.Time
 	finished time.Time
+
+	// streamed marks a serve-then-improve job: the greedy result was served
+	// at admission and interim incumbents upgrade the cache in place.
+	streamed bool
+	// prep is the prepared design, kept on streamed jobs so interim
+	// incumbents can be summarized without re-preparing.
+	prep *usecase.Prepared
+	// stream is the job's append-only event log (every job has one; only
+	// streamed jobs receive interim events before the final one).
+	stream *jobStream
 }
 
 // JobStatus is an immutable snapshot of a job, safe to serialize.
@@ -202,10 +212,16 @@ type JobStatus struct {
 	State     State  `json:"state"`
 	// Error is set when State is failed.
 	Error string `json:"error,omitempty"`
-	// Result is set when State is done.
+	// Result is set when State is done; on a running streamed job it is the
+	// best incumbent published so far (the anytime answer).
 	Result *Response `json:"result,omitempty"`
 	// ElapsedMS is the run time so far (running) or total (finished).
 	ElapsedMS int64 `json:"elapsed_ms"`
+	// Stream marks a serve-then-improve job whose incumbent improvements
+	// are published on GET /v1/jobs/{id}/events.
+	Stream bool `json:"stream,omitempty"`
+	// LastSeq is the sequence number of the job's latest stream event.
+	LastSeq int64 `json:"last_seq,omitempty"`
 }
 
 // Stats exposes the cache and pool gauges served at /stats. The same
@@ -369,6 +385,8 @@ func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Res
 		j.finished = time.Now()
 		close(j.done)
 		s.retainLocked(j)
+		s.appendEvent(j, StreamEvent{Stage: StreamDone, Engine: req.Engine,
+			Cost: costOfResult(j.resp.Result, req.Opts.Weights), Response: j.resp, Final: true})
 		s.mu.Unlock()
 		s.log.Debug("cache hit", "request_id", req.RequestID, "key", key, "engine", req.Engine, "job", j.ID)
 		return j, nil, nil
@@ -422,6 +440,7 @@ func (s *Service) newJobLocked(key string, req Request) *Job {
 		state:     StateQueued,
 		done:      make(chan struct{}),
 		enqueued:  time.Now(),
+		stream:    newJobStream(),
 	}
 	s.jobs[j.ID] = j
 	return j
@@ -444,7 +463,12 @@ func (s *Service) Job(id string) (JobStatus, bool) {
 	if !ok {
 		return JobStatus{}, false
 	}
-	st := JobStatus{ID: j.ID, Key: j.Key, RequestID: j.RequestID, State: j.state, Result: j.resp}
+	st := JobStatus{ID: j.ID, Key: j.Key, RequestID: j.RequestID, State: j.state,
+		Result: j.resp, Stream: j.streamed, LastSeq: j.stream.lastSeq()}
+	if st.Result == nil && j.streamed {
+		// A running streamed job already has an answer: its best incumbent.
+		st.Result = j.stream.latest()
+	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
@@ -535,8 +559,24 @@ func (s *Service) run(j *Job) {
 		defer cancel()
 	}
 	req := j.req
+	if j.streamed {
+		// Streamed jobs publish every strict job-level incumbent improvement
+		// on their event log as it lands (and upgrade the cache in place).
+		req.Opts.Progress = s.streamTap(j)
+	}
 	req.Opts.Progress = s.met.progressTap(req.Opts.Progress)
 	resp, tm, err := solve(ctx, req)
+	if j.streamed && err != nil && isExpiry(err) {
+		// A streamed job's deadline expiring is not a failure: the stream
+		// already served its incumbents, and the engines return their best
+		// so far on context expiry — solve only reports the expiry when the
+		// run died before producing even the greedy base. Fall back to the
+		// best streamed incumbent so the job finishes done, not failed.
+		if latest := j.stream.latest(); latest != nil {
+			c := *latest // copy: the streamed pointer is shared with readers
+			resp, err = &c, nil
+		}
+	}
 	s.met.engineSeconds.WithLabelValues(req.Engine).Observe(tm.TotalMS / 1e3)
 	if resp != nil {
 		tm.QueueMS = ms(j.started.Sub(j.enqueued))
@@ -545,9 +585,11 @@ func (s *Service) run(j *Job) {
 	s.finish(j, resp, err, true)
 }
 
-// finish publishes a job outcome: cache insert on success, state flip,
-// flight removal, waiter wakeup, retention bookkeeping. ran is false for
-// jobs drained at Close that never reached a worker.
+// finish publishes a job outcome: cache insert on success (a CAS upgrade
+// for streamed jobs, whose interim incumbents already live in the cache),
+// state flip, flight removal, the final event on the job's stream, waiter
+// wakeup, retention bookkeeping. ran is false for jobs drained at Close
+// that never reached a worker.
 func (s *Service) finish(j *Job, resp *Response, err error, ran bool) {
 	s.mu.Lock()
 	if ran {
@@ -558,15 +600,22 @@ func (s *Service) finish(j *Job, resp *Response, err error, ran bool) {
 		j.err = err
 		s.jobsFailed++
 		s.met.jobs.WithLabelValues(string(StateFailed)).Inc()
+		s.appendEvent(j, StreamEvent{Stage: StreamFailed, Engine: j.req.Engine, Error: err.Error(), Final: true})
 	} else {
 		j.state = StateDone
 		j.resp = resp
 		s.jobsDone++
 		s.met.jobs.WithLabelValues(string(StateDone)).Inc()
-		if evicted := s.cache.put(j.Key, resp); evicted > 0 {
+		cost := costOfResult(resp.Result, j.req.Opts.Weights)
+		if j.streamed {
+			// The stream already installed interim incumbents; the final
+			// result replaces them unless a concurrent writer did better.
+			s.upgradeCacheLocked(j, resp, cost)
+		} else if evicted := s.cache.put(j.Key, resp); evicted > 0 {
 			s.evictions += int64(evicted)
 			s.met.cacheEvictions.Add(int64(evicted))
 		}
+		s.appendEvent(j, StreamEvent{Stage: StreamDone, Engine: j.req.Engine, Cost: cost, Response: resp, Final: true})
 	}
 	j.finished = time.Now()
 	delete(s.flight, j.Key)

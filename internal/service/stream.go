@@ -1,0 +1,425 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"nocmap/internal/core"
+	"nocmap/internal/search"
+	"nocmap/internal/usecase"
+)
+
+// This file is the serve-then-improve half of the service: a mapping
+// request in stream mode answers *now* with the greedy result and refines
+// *later* on the worker pool, publishing every strict incumbent improvement
+// on the job's event log. The three invariants the tests pin:
+//
+//   - Sequence numbers on one job's stream are strictly increasing (seq k
+//     is the k-th event), and a final event (done | failed) is always last.
+//   - Costs across result-bearing events are strictly improving: the tap
+//     drops engine events that do not beat the job-level incumbent (the
+//     portfolio's members each improve their own chains; only pool-wide
+//     strict improvements stream).
+//   - The cache entry for the job's key only ever gets better: interim
+//     results are installed with a compare-and-swap on strictly-better
+//     cost, so a concurrent cache hit never observes a regression.
+
+// Stream event stages, in the order one streamed job emits them.
+const (
+	// StreamMapped is the first event of a streamed job: the inline greedy
+	// result, served before the background engine starts.
+	StreamMapped = "mapped"
+	// StreamImproved announces a strictly better incumbent found by the
+	// background engine.
+	StreamImproved = "improved"
+	// StreamDone is the final event of a successful job; its Response is
+	// byte-identical to the finished job's GET /v1/jobs/{id} result.
+	StreamDone = "done"
+	// StreamFailed is the final event of a failed job.
+	StreamFailed = "failed"
+)
+
+// StreamEvent is one anytime-results notification on a job's event log,
+// served over SSE (and long-poll) at GET /v1/jobs/{id}/events.
+type StreamEvent struct {
+	// Seq is the monotonically increasing incumbent sequence number,
+	// starting at 1; event seq k is the k-th event of the job.
+	Seq int64 `json:"seq"`
+	// Stage is one of mapped | improved | done | failed.
+	Stage string `json:"stage"`
+	// Engine names the engine that produced this incumbent ("greedy" for
+	// the first event of a streamed job, the member engine for
+	// improvements).
+	Engine string `json:"engine"`
+	// Cost is the incumbent's score under the job's cost weights (lower is
+	// better); strictly decreasing across the result-bearing events of one
+	// job.
+	Cost float64 `json:"cost,omitempty"`
+	// Counts are the emitting engine's cumulative search-effort counters at
+	// the time of the event.
+	Counts search.Counts `json:"counts"`
+	// Response carries the incumbent's full result summary; nil only on
+	// failed events.
+	Response *Response `json:"response,omitempty"`
+	// Error is set on failed events.
+	Error string `json:"error,omitempty"`
+	// Final marks the job's last event; the stream closes after it.
+	Final bool `json:"final,omitempty"`
+}
+
+// jobStream is one job's append-only event log plus the change broadcast
+// its readers block on. It has its own mutex — events are appended from the
+// worker running the job while SSE handlers and long-pollers read
+// concurrently — and must never be locked while the service mutex is
+// wanted (the converse order, service mutex then stream, is allowed).
+type jobStream struct {
+	mu     sync.Mutex
+	events []StreamEvent
+	// bestCost is the job-level incumbent cost; only strictly better
+	// results may append result-bearing events.
+	bestCost float64
+	closed   bool
+	// change is closed and replaced on every append, waking every waiter.
+	change chan struct{}
+}
+
+func newJobStream() *jobStream {
+	return &jobStream{bestCost: math.Inf(1), change: make(chan struct{})}
+}
+
+// append assigns the next sequence number and publishes e. Result-bearing
+// events must strictly beat the incumbent cost; others (failures) pass
+// unconditionally. Appends after a final event are dropped. Reports whether
+// the event was published.
+func (st *jobStream) append(e StreamEvent) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false
+	}
+	if e.Response != nil {
+		if e.Cost > st.bestCost-costEps && !e.Final {
+			return false // not a strict job-level improvement
+		}
+		if e.Cost < st.bestCost {
+			st.bestCost = e.Cost
+		}
+	}
+	e.Seq = int64(len(st.events)) + 1
+	st.events = append(st.events, e)
+	if e.Final {
+		st.closed = true
+	}
+	close(st.change)
+	st.change = make(chan struct{})
+	return true
+}
+
+// wouldImprove reports whether cost strictly beats the stream's incumbent —
+// the cheap pre-check the tap runs before paying for summarization.
+func (st *jobStream) wouldImprove(cost float64) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return !st.closed && cost < st.bestCost-costEps
+}
+
+// next returns the events with Seq > after and whether the stream is
+// complete. When nothing new is available it instead returns the channel
+// that closes on the next append.
+func (st *jobStream) next(after int64) ([]StreamEvent, bool, <-chan struct{}) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if after < 0 {
+		after = 0
+	}
+	if int64(len(st.events)) > after {
+		evs := make([]StreamEvent, int64(len(st.events))-after)
+		copy(evs, st.events[after:])
+		return evs, st.closed, nil
+	}
+	if st.closed {
+		return nil, true, nil
+	}
+	return nil, false, st.change
+}
+
+// lastSeq returns the sequence number of the latest event (0 if none).
+func (st *jobStream) lastSeq() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return int64(len(st.events))
+}
+
+// latest returns the most recent result-bearing event's response, or nil.
+func (st *jobStream) latest() *Response {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := len(st.events) - 1; i >= 0; i-- {
+		if st.events[i].Response != nil {
+			return st.events[i].Response
+		}
+	}
+	return nil
+}
+
+// costEps is the strict-improvement tolerance, matching the engines' own
+// incumbent comparison.
+const costEps = 1e-12
+
+// costOfResult scores a wire Result under the weights the producing request
+// ran with: the identical scalar the engines minimize, recomputed from the
+// summary's fields (CostWeights.OfParts reads exactly the switch count and
+// the two load statistics the summary carries, so no extra wire field is
+// needed to compare cache entries).
+func costOfResult(r Result, w search.CostWeights) float64 {
+	return w.OfParts(r.Switches, core.Stats{
+		MaxLinkUtil:   r.MaxLinkUtil,
+		AvgMeshHops:   r.AvgMeshHops,
+		SlotsReserved: r.SlotsReserved,
+	})
+}
+
+// SubmitStream admits req in serve-then-improve mode: the greedy engine
+// runs inline (bounded by ctx) and its feasible result is available on the
+// returned snapshot within milliseconds, while the requested engine keeps
+// improving on the worker pool under the job's own deadline. Strict
+// incumbent improvements append to the job's event log (GET
+// /v1/jobs/{id}/events) and upgrade the cache entry in place, so every
+// later cache hit gets the best placement found so far.
+//
+// An identical in-flight job is joined — concurrent streamers share one
+// run and one event log — and a cache hit returns an already-finished job
+// whose log holds a single done event. The in-flight check deliberately
+// precedes the cache lookup, the reverse of the synchronous path: a live
+// stream outranks the interim snapshot it has already published.
+func (s *Service) SubmitStream(ctx context.Context, req Request) (JobStatus, error) {
+	key, err := req.Key()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	if f, ok := s.flight[key]; ok {
+		s.deduped++
+		s.met.dedupJoins.Inc()
+		s.mu.Unlock()
+		s.log.Debug("joined in-flight stream", "request_id", req.RequestID, "key", key, "job", f.ID)
+		st, _ := s.Job(f.ID)
+		return st, nil
+	}
+	if resp, ok := s.cache.get(key); ok {
+		s.hits++
+		s.met.cacheHits.Inc()
+		j := s.newJobLocked(key, req)
+		j.streamed = true
+		j.state = StateDone
+		j.resp = resp.cached()
+		j.finished = time.Now()
+		close(j.done)
+		s.retainLocked(j)
+		s.mu.Unlock()
+		s.appendEvent(j, StreamEvent{
+			Stage: StreamDone, Engine: req.Engine,
+			Cost: costOfResult(j.resp.Result, req.Opts.Weights), Response: j.resp, Final: true,
+		})
+		s.log.Debug("cache hit", "request_id", req.RequestID, "key", key, "engine", req.Engine, "job", j.ID)
+		st, _ := s.Job(j.ID)
+		return st, nil
+	}
+	s.misses++
+	s.met.cacheMisses.Inc()
+	j := s.newJobLocked(key, req)
+	j.streamed = true
+	s.flight[key] = j
+	s.admits.Add(1)
+	s.mu.Unlock()
+	defer s.admits.Done()
+	s.log.Info("stream job admitted", "request_id", req.RequestID, "job", j.ID, "key", key, "engine", req.Engine)
+
+	// First incumbent: the greedy constructive pass, inline on the caller's
+	// goroutine so the answer does not wait for a worker. Its result seeds
+	// the event log and the cache entry for the job's key.
+	start := time.Now()
+	prep, err := usecase.Prepare(req.Design)
+	if err != nil {
+		s.abandon(j, err)
+		return JobStatus{}, err
+	}
+	j.prep = prep
+	prepMS := ms(time.Since(start))
+	searchStart := time.Now()
+	gres, err := core.MapContext(ctx, prep, req.Design.NumCores(), req.Params)
+	if err != nil {
+		s.abandon(j, err)
+		return JobStatus{}, err
+	}
+	first := &Response{Key: key, Engine: req.Engine, Result: SummarizeResult(req.Design.Name, prep, gres)}
+	cost := costOfResult(first.Result, req.Opts.Weights)
+
+	if req.Engine == "greedy" {
+		// Greedy *is* the requested engine: the first result is final, so the
+		// job completes without touching the pool. finish appends the done
+		// event and installs the cache entry.
+		first.Timings = &Timings{
+			PrepareMS: prepMS,
+			SearchMS:  ms(time.Since(searchStart)),
+			TotalMS:   ms(time.Since(start)),
+		}
+		s.finish(j, first, nil, false)
+		st, _ := s.Job(j.ID)
+		return st, nil
+	}
+
+	s.appendEvent(j, StreamEvent{Stage: StreamMapped, Engine: "greedy", Cost: cost, Response: first})
+	s.upgradeCache(j, first, cost)
+
+	// Hand the improvement phase to the pool; a full queue blocks, bounded
+	// by the caller's context, mirroring the synchronous admission path.
+	select {
+	case s.queue <- j:
+	case <-ctx.Done():
+		s.abandon(j, ctx.Err())
+		return JobStatus{}, ctx.Err()
+	case <-s.quit:
+		s.abandon(j, ErrClosed)
+		return JobStatus{}, ErrClosed
+	}
+	st, _ := s.Job(j.ID)
+	return st, nil
+}
+
+// appendEvent publishes one event on the job's log and counts it. Returns
+// whether the log accepted it.
+func (s *Service) appendEvent(j *Job, e StreamEvent) bool {
+	if !j.stream.append(e) {
+		return false
+	}
+	s.met.streamEvents.Inc()
+	return true
+}
+
+// upgradeCache compare-and-swaps the cache entry for the job's key: resp is
+// installed when the cache has no entry or a not-better one, and dropped
+// when the resident entry is strictly better — a reader can never observe
+// a cost regression across consecutive hits. Strictly-better replacements
+// of an existing entry count as upgrades.
+func (s *Service) upgradeCache(j *Job, resp *Response, cost float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.upgradeCacheLocked(j, resp, cost)
+}
+
+// upgradeCacheLocked is upgradeCache with the service mutex already held.
+func (s *Service) upgradeCacheLocked(j *Job, resp *Response, cost float64) {
+	if cur, ok := s.cache.get(j.Key); ok {
+		curCost := costOfResult(cur.Result, j.req.Opts.Weights)
+		if cost > curCost+costEps {
+			return // never downgrade the cache
+		}
+		if cost < curCost-costEps {
+			s.met.cacheUpgrades.Inc()
+		}
+	}
+	if evicted := s.cache.put(j.Key, resp); evicted > 0 {
+		s.evictions += int64(evicted)
+		s.met.cacheEvictions.Add(int64(evicted))
+	}
+}
+
+// isExpiry reports whether err is a context expiry — the signal of a job
+// deadline elapsing rather than the engine rejecting the problem.
+func isExpiry(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+func errUnknownJob(id string) error { return fmt.Errorf("service: unknown job %q", id) }
+
+// streamTap turns a streamed job's engine progress events into stream
+// events and cache upgrades. Only strict job-level incumbent improvements
+// pass: a portfolio member improving its own chain below the pool's best is
+// filtered, so the log's costs are strictly decreasing. The callback runs
+// serialized on the searching goroutine (the portfolio serializes its
+// members), so appends for one job never race each other.
+func (s *Service) streamTap(j *Job) func(search.Event) {
+	return func(e search.Event) {
+		if e.Stage != search.StageImproved || e.Result == nil {
+			return
+		}
+		if !j.stream.wouldImprove(e.Cost) {
+			return
+		}
+		resp := &Response{
+			Key: j.Key, Engine: j.req.Engine,
+			Result: SummarizeResult(j.req.Design.Name, j.prep, e.Result),
+		}
+		if !s.appendEvent(j, StreamEvent{
+			Stage: StreamImproved, Engine: e.Engine, Cost: e.Cost, Counts: e.Counts, Response: resp,
+		}) {
+			return
+		}
+		s.upgradeCache(j, resp, e.Cost)
+		s.log.Debug("incumbent improved", "request_id", j.RequestID, "job", j.ID,
+			"engine", e.Engine, "cost", e.Cost, "switches", e.Switches)
+	}
+}
+
+// Events returns the job's stream events with Seq > after and whether the
+// stream is complete; ok is false for unknown (or already forgotten) jobs.
+func (s *Service) Events(id string, after int64) (evs []StreamEvent, done, ok bool) {
+	s.mu.Lock()
+	j, found := s.jobs[id]
+	s.mu.Unlock()
+	if !found {
+		return nil, false, false
+	}
+	evs, done, _ = j.stream.next(after)
+	return evs, done, true
+}
+
+// WaitEvents blocks until the job has events past after, its stream
+// completes, or ctx expires; it returns the new events (possibly none on a
+// completed stream) and whether the stream is complete. Unknown jobs and
+// expired contexts report an error.
+func (s *Service) WaitEvents(ctx context.Context, id string, after int64) ([]StreamEvent, bool, error) {
+	s.mu.Lock()
+	j, found := s.jobs[id]
+	s.mu.Unlock()
+	if !found {
+		return nil, false, errUnknownJob(id)
+	}
+	for {
+		evs, done, change := j.stream.next(after)
+		if evs != nil || done {
+			return evs, done, nil
+		}
+		select {
+		case <-change:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// WaitJob blocks until the job finishes or ctx expires and returns the
+// latest snapshot either way; ok is false for unknown jobs. It is how the
+// wait_ms form of a streamed request trades patience for quality.
+func (s *Service) WaitJob(ctx context.Context, id string) (JobStatus, bool) {
+	s.mu.Lock()
+	j, found := s.jobs[id]
+	s.mu.Unlock()
+	if !found {
+		return JobStatus{}, false
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+	}
+	return s.Job(id)
+}

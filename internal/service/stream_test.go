@@ -1,0 +1,396 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/traffic"
+)
+
+// d1Design returns the D1 benchmark, the smallest design the annealer
+// reliably improves past its greedy base on pinned seeds.
+func d1Design(t *testing.T) *traffic.Design {
+	t.Helper()
+	d, err := bench.ByName("D1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// d1StreamRequest is a streamed anneal request on D1 with the pinned seed
+// the search tests prove improves past the greedy base.
+func d1StreamRequest(t *testing.T) Request {
+	req := testRequest("anneal", d1Design(t))
+	req.Opts.Seed = 2
+	return req
+}
+
+// collectStream drains the job's event log through WaitEvents until the
+// final event or the deadline.
+func collectStream(t *testing.T, s *Service, id string) []StreamEvent {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var evs []StreamEvent
+	var after int64
+	for {
+		batch, done, err := s.WaitEvents(ctx, id, after)
+		if err != nil {
+			t.Fatalf("WaitEvents(%s, %d): %v", id, after, err)
+		}
+		evs = append(evs, batch...)
+		if n := len(batch); n > 0 {
+			after = batch[n-1].Seq
+		}
+		if done {
+			return evs
+		}
+	}
+}
+
+// TestSubmitStreamLifecycle pins the serve-then-improve contract at the
+// service level: the admission returns with the greedy incumbent already
+// published, sequence numbers count 1,2,3,..., result-bearing costs
+// strictly improve, the log ends with exactly one final done event, and
+// the finished job reports the upgraded result — byte-identical to both
+// the final stream event and the cache entry, never the greedy snapshot.
+func TestSubmitStreamLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	st, err := s.SubmitStream(context.Background(), d1StreamRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stream {
+		t.Errorf("streamed job not marked Stream: %+v", st)
+	}
+	if st.LastSeq < 1 {
+		t.Errorf("admission returned before the greedy incumbent was published: LastSeq=%d", st.LastSeq)
+	}
+	if st.Result == nil {
+		t.Fatal("streamed admission carried no anytime result")
+	}
+
+	evs := collectStream(t, s, st.ID)
+	if len(evs) < 3 {
+		t.Fatalf("want mapped + >=1 improved + done on D1 seed 2, got %d events: %+v", len(evs), evs)
+	}
+	if evs[0].Stage != StreamMapped || evs[0].Engine != "greedy" {
+		t.Errorf("first event is not the greedy base: %+v", evs[0])
+	}
+	lastCost := evs[0].Cost
+	for i, e := range evs {
+		if e.Seq != int64(i)+1 {
+			t.Errorf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Final != (i == len(evs)-1) {
+			t.Errorf("event %d Final=%v", i, e.Final)
+		}
+		if e.Stage == StreamImproved {
+			if e.Response == nil {
+				t.Fatalf("improved event %d has no response", i)
+			}
+			if e.Cost >= lastCost {
+				t.Errorf("event %d cost %v does not improve on %v", i, e.Cost, lastCost)
+			}
+		}
+		if e.Response != nil {
+			lastCost = e.Cost
+		}
+	}
+	final := evs[len(evs)-1]
+	if final.Stage != StreamDone || final.Response == nil {
+		t.Fatalf("final event: %+v", final)
+	}
+	if final.Cost >= evs[0].Cost {
+		t.Errorf("background anneal never improved on the greedy base: %v >= %v", final.Cost, evs[0].Cost)
+	}
+
+	// The finished job reports the upgraded result (satellite regression):
+	// identical bytes to the final event's response and to the cache entry.
+	done, ok := s.Job(st.ID)
+	if !ok || done.State != StateDone {
+		t.Fatalf("job after stream: %+v", done)
+	}
+	jobJSON, _ := json.Marshal(done.Result.Result)
+	finalJSON, _ := json.Marshal(final.Response.Result)
+	if string(jobJSON) != string(finalJSON) {
+		t.Errorf("finished job result diverges from the final stream event:\n%s\nvs\n%s", jobJSON, finalJSON)
+	}
+	if done.Result.Result.Switches == evs[0].Response.Result.Switches &&
+		string(jobJSON) == mustJSON(t, evs[0].Response.Result) {
+		t.Error("finished job still reports the greedy snapshot")
+	}
+	s.mu.Lock()
+	cached, ok := s.cache.get(st.Key)
+	s.mu.Unlock()
+	if !ok {
+		t.Fatal("no cache entry for the streamed job")
+	}
+	cacheJSON, _ := json.Marshal(cached.Result)
+	if string(cacheJSON) != string(jobJSON) {
+		t.Errorf("cache entry diverges from the finished job:\n%s\nvs\n%s", cacheJSON, jobJSON)
+	}
+	if got := testCounterValue(t, s, "noc_cache_upgrades_total"); got < 1 {
+		t.Errorf("noc_cache_upgrades_total = %v after an improving stream, want >= 1", got)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// testCounterValue scrapes one plain counter from the service's registry.
+func testCounterValue(t *testing.T, s *Service, name string) float64 {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.Metrics().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var v float64
+	fmt.Sscanf(metricValue(t, rec.Body.String(), name), "%g", &v)
+	return v
+}
+
+// TestSubmitStreamGreedyFinishesInline pins that a streamed request whose
+// engine is greedy itself completes at admission: one final done event, no
+// worker involved.
+func TestSubmitStreamGreedyFinishesInline(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	st, err := s.SubmitStream(context.Background(), testRequest("greedy", testDesign("stream-greedy")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("greedy stream not done at admission: %+v", st)
+	}
+	evs := collectStream(t, s, st.ID)
+	if len(evs) != 1 || evs[0].Stage != StreamDone || !evs[0].Final || evs[0].Seq != 1 {
+		t.Fatalf("greedy stream log: %+v", evs)
+	}
+}
+
+// TestSubmitStreamJoinsFlight pins the admission order satellite: a second
+// identical streamed request while the first is still improving joins the
+// live job (same ID, same event log) instead of being served the interim
+// cache entry as a synthesized done job.
+func TestSubmitStreamJoinsFlight(t *testing.T) {
+	gate := make(chan struct{})
+	registerGate("stream-join", gate)
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	req := testRequest("stream-join", testDesign("stream-join"))
+	first, err := s.SubmitStream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.SubmitStream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != first.ID {
+		t.Errorf("identical streamed request did not join the in-flight job: %s vs %s", second.ID, first.ID)
+	}
+	// A synchronous Map on the same key meanwhile is served the interim
+	// greedy entry from the cache — the instant anytime answer.
+	resp, err := s.Map(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Error("concurrent Map on a streaming key was not served the interim cache entry")
+	}
+	close(gate)
+	evs := collectStream(t, s, first.ID)
+	if evs[len(evs)-1].Stage != StreamDone {
+		t.Fatalf("stream log after join: %+v", evs)
+	}
+}
+
+// TestStreamDeadlineExpiryEndsDone pins the cancellation satellite's server
+// half: a streamed job whose deadline expires mid-anneal terminates its
+// stream with a final done event carrying the best incumbent so far — not
+// failed.
+func TestStreamDeadlineExpiryEndsDone(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+
+	req := d1StreamRequest(t)
+	req.Opts.Iters = 50_000_000 // far more work than the deadline allows
+	req.Timeout = 150 * time.Millisecond
+	st, err := s.SubmitStream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := collectStream(t, s, st.ID)
+	final := evs[len(evs)-1]
+	if final.Stage != StreamDone || !final.Final || final.Response == nil {
+		t.Fatalf("deadline expiry did not end the stream done: %+v", final)
+	}
+	done, _ := s.Job(st.ID)
+	if done.State != StateDone {
+		t.Fatalf("deadline-expired streamed job state: %+v", done)
+	}
+}
+
+// TestStreamDisconnectDoesNotLeak pins the cancellation satellite's client
+// half: dropping an SSE connection mid-stream releases the handler
+// goroutine while the background job keeps running to completion.
+func TestStreamDisconnectDoesNotLeak(t *testing.T) {
+	gate := make(chan struct{})
+	registerGate("stream-leak", gate)
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	st, err := s.SubmitStream(context.Background(), testRequest("stream-leak", testDesign("stream-leak")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the replayed first event so the handler is provably mid-stream,
+	// then drop the connection.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	waitFor(t, "SSE handler goroutine release", func() bool {
+		return runtime.NumGoroutine() <= before
+	})
+
+	// The background job is unaffected by the disconnect.
+	close(gate)
+	waitFor(t, "job completion after disconnect", func() bool {
+		done, _ := s.Job(st.ID)
+		return done.State == StateDone
+	})
+}
+
+// TestJobEventsLongPoll drives the ?mode=poll fallback: pages resume from
+// `after`, Next advances, and the final page reports done.
+func TestJobEventsLongPoll(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	st, err := s.SubmitStream(context.Background(), d1StreamRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		after int64
+		all   []StreamEvent
+		done  bool
+	)
+	for !done {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?mode=poll&after=%d&wait_ms=5000", ts.URL, st.ID, after))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var page EventsPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		for _, e := range page.Events {
+			if e.Seq <= after {
+				t.Fatalf("poll page replayed seq %d despite after=%d", e.Seq, after)
+			}
+		}
+		all = append(all, page.Events...)
+		if len(page.Events) > 0 && page.Next != page.Events[len(page.Events)-1].Seq {
+			t.Fatalf("page Next=%d, last seq=%d", page.Next, page.Events[len(page.Events)-1].Seq)
+		}
+		after, done = page.Next, page.Done
+	}
+	if len(all) < 2 || all[len(all)-1].Stage != StreamDone {
+		t.Fatalf("long-polled stream: %d events, last %+v", len(all), all[len(all)-1])
+	}
+	for i, e := range all {
+		if e.Seq != int64(i)+1 {
+			t.Fatalf("long-poll reassembly out of order at %d: %+v", i, e)
+		}
+	}
+}
+
+// TestMapWaitMS pins the wait_ms form: the request streams, waits up to the
+// given patience for the background run, and answers with the best-so-far
+// snapshot — done when the job beat the wait, still improving otherwise.
+func TestMapWaitMS(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	raw := designJSON(t, d1Design(t))
+	seed := int64(2)
+	body, _ := json.Marshal(MapRequest{Design: raw, Engine: "anneal", Seed: &seed, WaitMS: 20_000})
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("wait_ms map: status %d: %s", resp.StatusCode, b)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Stream || st.Result == nil {
+		t.Fatalf("wait_ms reply: %+v", st)
+	}
+	if st.State != StateDone {
+		t.Fatalf("20s patience did not cover a D1 anneal: %+v", st)
+	}
+}
+
+// TestMapStreamRejectsAsync pins that async and stream are mutually
+// exclusive on the wire.
+func TestMapStreamRejectsAsync(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	raw := designJSON(t, testDesign("stream-async"))
+	body, _ := json.Marshal(MapRequest{Design: raw, Mode: "stream", Async: true})
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async+stream accepted: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package noc_test
+
+// raceEnabled reports whether this test binary runs under the race
+// detector; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package noc_test
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where every engine is several times slower: latency bounds scale up and
+// sweep matrices shrink so -race runs stay focused on interleavings.
+const raceEnabled = true
