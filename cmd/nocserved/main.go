@@ -6,8 +6,18 @@
 // Usage:
 //
 //	nocserved [-addr :8080] [-workers 8] [-queue 64] [-cache 128]
+//	          [-store memory|disk|sharded] [-store-dir DIR]
+//	          [-peers URL,URL,...] [-self URL]
 //	          [-timeout 0] [-log-format text|json] [-log-level info]
 //	          [-pprof]
+//
+// The result store defaults to an in-memory LRU. -store disk (with
+// -store-dir) makes cached results durable across restarts; -store sharded
+// (with -peers and -self, optionally -store-dir for a durable local tier)
+// spreads digest ownership over a replica fleet with consistent hashing.
+// The store flags also read the NOC_STORE, NOC_STORE_DIR, NOC_PEERS and
+// NOC_SELF environment variables; explicit flags win over the environment,
+// which wins over the defaults.
 //
 // Endpoints (versioned surface, see docs/cli.md for schemas):
 //
@@ -16,7 +26,8 @@
 //	POST /v1/batch     map many designs in one call
 //	GET  /v1/jobs/{id} poll an async job
 //	GET  /v1/jobs/{id}/events  anytime-results stream (SSE; ?mode=poll)
-//	GET  /v1/stats     cache and pool gauges
+//	GET  /v1/designs/{digest}  cached result for a request digest (404 if absent)
+//	GET  /v1/stats     cache, store and pool gauges
 //	GET  /v1/metrics   Prometheus text exposition
 //	GET  /v1/version   build identity
 //	GET  /healthz      liveness + version + uptime
@@ -40,6 +51,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +80,28 @@ func buildLogger(w io.Writer, format, level string) *slog.Logger {
 	return slog.New(slog.NewTextHandler(w, opts))
 }
 
+// envOr reads an environment variable, falling back to def when unset. It
+// supplies flag defaults, so explicit flags override the environment which
+// overrides the built-in default — the documented precedence.
+func envOr(key, def string) string {
+	if v, ok := os.LookupEnv(key); ok {
+		return v
+	}
+	return def
+}
+
+// splitPeers parses a comma-separated replica roster, dropping empty
+// elements so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
 // withPprof mounts the net/http/pprof handlers under /debug/pprof/ alongside
 // the service surface. Registration is explicit (not the package's implicit
 // http.DefaultServeMux side effect) so profiling is opt-in per listener.
@@ -87,6 +121,14 @@ func main() {
 	workers := flag.Int("workers", 0, "engine-run workers (0 = one per CPU)")
 	queue := flag.Int("queue", 64, "bounded job-queue depth (backpressure beyond this)")
 	cacheEntries := flag.Int("cache", 128, "result-cache entries (LRU)")
+	storeBackend := flag.String("store", envOr("NOC_STORE", "memory"),
+		"result-store backend: memory, disk or sharded (env NOC_STORE)")
+	storeDir := flag.String("store-dir", envOr("NOC_STORE_DIR", ""),
+		"disk-store root directory (env NOC_STORE_DIR)")
+	peers := flag.String("peers", envOr("NOC_PEERS", ""),
+		"comma-separated replica roster for -store sharded, including this replica (env NOC_PEERS)")
+	self := flag.String("self", envOr("NOC_SELF", ""),
+		"this replica's base URL as it appears in -peers (env NOC_SELF)")
 	timeout := flag.Duration("timeout", 0, "default per-job deadline (0 = none)")
 	logFormat := flag.String("log-format", "text", "structured log encoding: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
@@ -94,11 +136,24 @@ func main() {
 	flag.Parse()
 
 	logger := buildLogger(os.Stderr, *logFormat, *logLevel)
+	resultStore, err := noc.OpenStore(noc.StoreConfig{
+		Backend:      *storeBackend,
+		Dir:          *storeDir,
+		CacheEntries: *cacheEntries,
+		Peers:        splitPeers(*peers),
+		Self:         *self,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocserved:", err)
+		os.Exit(2)
+	}
+	logger.Info("result store ready", "backend", resultStore.Backend(), "dir", *storeDir)
 	server := noc.NewServer(noc.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		DefaultTimeout: *timeout,
+		Store:          resultStore,
 		Logger:         logger,
 	})
 	handler := server.Handler()

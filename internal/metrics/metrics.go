@@ -251,6 +251,17 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return cv
 }
 
+// CounterFunc registers a counter whose value is computed by fn at scrape
+// time — for monotonic counts owned by another subsystem (a store backend's
+// forward counter) that would otherwise need double bookkeeping. fn must be
+// monotonically non-decreasing and safe for concurrent use, and must not
+// call back into the registry.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.register(name, help, "counter", nil, func(w *errWriter, n string) {
+		w.seriesInt(n, nil, nil, fn())
+	})
+}
+
 // Gauge registers and returns a new integer gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	g := &Gauge{}

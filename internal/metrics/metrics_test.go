@@ -41,6 +41,18 @@ func TestCounterGaugeExposition(t *testing.T) {
 	}
 }
 
+func TestCounterFuncExposition(t *testing.T) {
+	r := NewRegistry()
+	var n int64
+	r.CounterFunc("noc_forwards_total", "Computed at scrape time.", func() int64 { return n })
+	n = 42
+	out := render(t, r)
+	want := "# HELP noc_forwards_total Computed at scrape time.\n# TYPE noc_forwards_total counter\nnoc_forwards_total 42\n"
+	if !strings.Contains(out, want) {
+		t.Errorf("exposition missing %q:\n%s", want, out)
+	}
+}
+
 func TestCounterVecExposition(t *testing.T) {
 	r := NewRegistry()
 	cv := r.CounterVec("noc_http_requests_total", "Requests by route and status.", "route", "status")

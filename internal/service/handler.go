@@ -157,7 +157,10 @@ type BatchResult struct {
 //	GET  /v1/jobs/{id} — job state (queued|running|done|failed) and result
 //	GET  /v1/jobs/{id}/events — serve-then-improve event stream (SSE by
 //	                     default, ?mode=poll long-poll; resume with ?after)
-//	GET  /v1/stats     — cache hit/miss counters and pool gauges
+//	GET  /v1/designs/{digest} — the cached result for a request digest
+//	                     (404 when the store holds none); on a sharded
+//	                     store, foreign digests resolve via their owner
+//	GET  /v1/stats     — cache hit/miss counters, store and pool gauges
 //	GET  /v1/metrics   — Prometheus text exposition of the service metrics
 //	GET  /v1/version   — build identity (module version, VCS revision)
 //	GET  /healthz      — liveness, build version, uptime (unversioned on
@@ -318,6 +321,19 @@ func NewHandler(s *Service) http.Handler {
 	handle("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+
+	// /v1/designs is post-versioning surface: it mounts under /v1 only, no
+	// legacy alias. It is also the peer-forwarding path of a sharded store —
+	// replicas resolve foreign digests against their owner here.
+	mux.HandleFunc("GET /v1/designs/{digest}", instrument("/v1/designs/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		digest := r.PathValue("digest")
+		resp, ok := s.Design(r.Context(), digest)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no cached result for digest %q", digest))
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
 
 	mux.HandleFunc("GET /v1/version", instrument("/v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, BuildVersion())

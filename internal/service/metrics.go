@@ -5,6 +5,7 @@ import (
 
 	"nocmap/internal/metrics"
 	"nocmap/internal/search"
+	"nocmap/internal/store"
 )
 
 // startedAt is the process start (package-load) instant: the anchor of the
@@ -49,6 +50,11 @@ type serviceMetrics struct {
 	httpRequests *metrics.CounterVec   // by route and status
 	httpSeconds  *metrics.HistogramVec // handler latency by route
 
+	storeGets     *metrics.CounterVec // store reads by backend
+	storePuts     *metrics.CounterVec // store writes (puts and upgrades) by backend
+	storeUpgrades *metrics.CounterVec // in-place replace-with-better writes by backend
+	storeErrors   *metrics.CounterVec // failed store operations by backend
+
 	searchImprovements *metrics.CounterVec // incumbent improvements by engine
 	searchMoves        *metrics.CounterVec // moves tried by engine
 	searchAccepted     *metrics.CounterVec // moves accepted by engine
@@ -78,6 +84,15 @@ func newServiceMetrics(reg *metrics.Registry, s *Service) *serviceMetrics {
 		httpSeconds: reg.HistogramVec("noc_http_request_duration_seconds",
 			"HTTP handler latency by route.", nil, "route"),
 
+		storeGets: reg.CounterVec("noc_store_gets_total",
+			"Result-store reads by backend.", "backend"),
+		storePuts: reg.CounterVec("noc_store_puts_total",
+			"Result-store writes (puts and upgrade attempts) by backend.", "backend"),
+		storeUpgrades: reg.CounterVec("noc_store_upgrades_total",
+			"Result-store entries replaced in place by a strictly better result, by backend.", "backend"),
+		storeErrors: reg.CounterVec("noc_store_errors_total",
+			"Failed result-store operations by backend (each degrades to a cache miss).", "backend"),
+
 		searchImprovements: reg.CounterVec("noc_search_improvements_total",
 			"Strict incumbent improvements streamed by the engines.", "engine"),
 		searchMoves: reg.CounterVec("noc_search_moves_total",
@@ -106,13 +121,32 @@ func newServiceMetrics(reg *metrics.Registry, s *Service) *serviceMetrics {
 			defer s.mu.Unlock()
 			return float64(s.running)
 		})
-	reg.GaugeFunc("noc_cache_entries", "Results resident in the LRU cache.",
-		func() float64 {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			return float64(s.cache.len())
-		})
+	reg.GaugeFunc("noc_cache_entries", "Results resident in the result store (local tier).",
+		func() float64 { return float64(s.store.Len()) })
+	// Backend-specific instruments register only when the backend is
+	// present, so a memory-backed daemon's exposition stays free of
+	// always-zero disk and shard series.
+	if d := diskTierOf(s.store); d != nil {
+		reg.GaugeFunc("noc_store_disk_bytes", "Bytes of result objects resident in the disk store.",
+			func() float64 { return float64(d.Bytes()) })
+	}
+	if sh, ok := s.store.(*store.Sharded); ok {
+		reg.CounterFunc("noc_shard_forwards_total",
+			"Result reads forwarded to the owning replica (consistent-hash misses).",
+			sh.Forwards)
+	}
 	return m
+}
+
+// diskTierOf unwraps the disk tier of a store stack, looking through a
+// shard layer, so the disk byte gauge stays visible however the store is
+// composed. Nil when no disk tier is present.
+func diskTierOf(st store.Store) *store.Disk {
+	if sh, ok := st.(*store.Sharded); ok {
+		st = sh.Local()
+	}
+	d, _ := st.(*store.Disk)
+	return d
 }
 
 // progressTap wraps a job's progress callback so every engine event also

@@ -40,6 +40,7 @@ import (
 	"nocmap/internal/metrics"
 	"nocmap/internal/power"
 	"nocmap/internal/search"
+	"nocmap/internal/store"
 	"nocmap/internal/traffic"
 	"nocmap/internal/usecase"
 	"nocmap/internal/verify"
@@ -61,8 +62,15 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds the jobs waiting for a worker (default 64).
 	QueueDepth int
-	// CacheEntries bounds the result LRU (default 128).
+	// CacheEntries bounds the result LRU (default 128). It sizes the default
+	// in-memory store; an explicit Store brings its own capacity.
 	CacheEntries int
+	// Store is the result store behind the cache. Nil means a process-local
+	// in-memory LRU of CacheEntries entries (the pre-store behavior). A
+	// disk-backed or sharded store (internal/store, assembled by pkg/noc's
+	// OpenStore) makes results durable across restarts or shared across a
+	// replica fleet. The service owns the store and closes it on Close.
+	Store store.Store
 	// DefaultTimeout is the per-job deadline applied when a request does not
 	// carry its own; zero means no deadline.
 	DefaultTimeout time.Duration
@@ -231,7 +239,16 @@ type Stats struct {
 	CacheHits      int64 `json:"cache_hits"`
 	CacheMisses    int64 `json:"cache_misses"`
 	CacheEvictions int64 `json:"cache_evictions"`
-	CacheEntries   int   `json:"cache_entries"`
+	// CacheEntries is the resident entry count of the result store. It is
+	// the historical name for what StoreEntries also reports; both keys
+	// carry the same value so pre-store dashboards keep working.
+	CacheEntries int `json:"cache_entries"`
+	// StoreBackend names the result-store backend serving this process:
+	// "memory", "disk" or "sharded".
+	StoreBackend string `json:"store_backend"`
+	// StoreEntries is the resident entry count of the result store (the
+	// local tier for a sharded store).
+	StoreEntries int `json:"store_entries"`
 	// Deduped counts requests that joined an in-flight identical run instead
 	// of starting their own.
 	Deduped     int64 `json:"deduped"`
@@ -258,13 +275,17 @@ type Service struct {
 	log *slog.Logger
 	met *serviceMetrics
 
+	// store holds finished results keyed by request digest. It is
+	// self-locking and is never called with s.mu held: the disk and sharded
+	// backends do file and network I/O that must not serialize admission.
+	store store.Store
+
 	mu       sync.Mutex
 	closed   bool
 	nextID   int64
 	jobs     map[string]*Job
 	jobOrder []string // finished job IDs, oldest first, for retention
 	flight   map[string]*Job
-	cache    *lruCache
 
 	hits, misses, evictions, deduped, jobsDone, jobsFailed int64
 	running                                                int
@@ -279,8 +300,11 @@ func New(cfg Config) *Service {
 		quit:   make(chan struct{}),
 		jobs:   make(map[string]*Job),
 		flight: make(map[string]*Job),
-		cache:  newLRU(cfg.CacheEntries),
+		store:  cfg.Store,
 		log:    cfg.Logger,
+	}
+	if s.store == nil {
+		s.store = store.NewMemory(cfg.CacheEntries)
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.DiscardHandler)
@@ -322,6 +346,12 @@ func (s *Service) Close() {
 		case j := <-s.queue:
 			s.finish(j, nil, ErrClosed, false)
 		default:
+			// The pool is quiescent; release the store last so every
+			// finished job's result reached it (a disk store syncs its
+			// index here).
+			if err := s.store.Close(); err != nil {
+				s.log.Warn("store close failed", "backend", s.store.Backend(), "error", err)
+			}
 			return
 		}
 	}
@@ -357,9 +387,16 @@ func (s *Service) Submit(req Request) (string, error) {
 	return j.ID, nil
 }
 
-// admit implements the shared front door: cache lookup, single-flight join,
+// admit implements the shared front door: store lookup, single-flight join,
 // then enqueue. When sync is true a full queue blocks (bounded by ctx)
 // instead of failing; the returned Response is non-nil only on a cache hit.
+//
+// The store read runs outside the service mutex — a disk or sharded
+// backend pays file or network latency there, which must not serialize
+// every other request — so the flight table is re-checked under the lock
+// afterwards: of N concurrent identical misses exactly one registers the
+// flight (one miss), the rest join it (deduped), same as when one lock
+// covered both.
 func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Response, error) {
 	key, err := req.Key()
 	if err != nil {
@@ -370,7 +407,9 @@ func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Res
 		s.mu.Unlock()
 		return nil, nil, ErrClosed
 	}
-	if resp, ok := s.cache.get(key); ok {
+	s.mu.Unlock()
+	if resp, ok := s.storeGet(ctx, key); ok {
+		s.mu.Lock()
 		s.hits++
 		s.met.cacheHits.Inc()
 		if sync {
@@ -390,6 +429,11 @@ func (s *Service) admit(ctx context.Context, req Request, sync bool) (*Job, *Res
 		s.mu.Unlock()
 		s.log.Debug("cache hit", "request_id", req.RequestID, "key", key, "engine", req.Engine, "job", j.ID)
 		return j, nil, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
 	}
 	if j, ok := s.flight[key]; ok {
 		s.deduped++
@@ -507,13 +551,16 @@ func (s *Service) MapBatch(ctx context.Context, reqs []Request) []BatchItem {
 
 // Stats returns the current counters and gauges.
 func (s *Service) Stats() Stats {
+	entries := s.store.Len() // self-locking; read outside s.mu
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
 		CacheHits:      s.hits,
 		CacheMisses:    s.misses,
 		CacheEvictions: s.evictions,
-		CacheEntries:   s.cache.len(),
+		CacheEntries:   entries,
+		StoreBackend:   s.store.Backend(),
+		StoreEntries:   entries,
 		Deduped:        s.deduped,
 		JobsDone:       s.jobsDone,
 		JobsFailed:     s.jobsFailed,
@@ -585,12 +632,29 @@ func (s *Service) run(j *Job) {
 	s.finish(j, resp, err, true)
 }
 
-// finish publishes a job outcome: cache insert on success (a CAS upgrade
-// for streamed jobs, whose interim incumbents already live in the cache),
+// finish publishes a job outcome: store insert on success (a CAS upgrade
+// for streamed jobs, whose interim incumbents already live in the store),
 // state flip, flight removal, the final event on the job's stream, waiter
 // wakeup, retention bookkeeping. ran is false for jobs drained at Close
 // that never reached a worker.
+//
+// The store write happens before the state flip and before waiters wake,
+// so a caller released by j.done always finds the result resident; it runs
+// outside the service mutex (a disk store fsyncs here), which is safe
+// because the flight entry is still registered — identical requests join
+// the job rather than recompute.
 func (s *Service) finish(j *Job, resp *Response, err error, ran bool) {
+	var cost float64
+	if err == nil {
+		cost = costOfResult(resp.Result, j.req.Opts.Weights)
+		if j.streamed {
+			// The stream already installed interim incumbents; the final
+			// result replaces them unless a concurrent writer did better.
+			s.storeUpgrade(j.Key, resp, cost)
+		} else {
+			s.storePut(j.Key, resp, cost)
+		}
+	}
 	s.mu.Lock()
 	if ran {
 		s.running--
@@ -606,15 +670,6 @@ func (s *Service) finish(j *Job, resp *Response, err error, ran bool) {
 		j.resp = resp
 		s.jobsDone++
 		s.met.jobs.WithLabelValues(string(StateDone)).Inc()
-		cost := costOfResult(resp.Result, j.req.Opts.Weights)
-		if j.streamed {
-			// The stream already installed interim incumbents; the final
-			// result replaces them unless a concurrent writer did better.
-			s.upgradeCacheLocked(j, resp, cost)
-		} else if evicted := s.cache.put(j.Key, resp); evicted > 0 {
-			s.evictions += int64(evicted)
-			s.met.cacheEvictions.Add(int64(evicted))
-		}
 		s.appendEvent(j, StreamEvent{Stage: StreamDone, Engine: j.req.Engine, Cost: cost, Response: resp, Final: true})
 	}
 	j.finished = time.Now()

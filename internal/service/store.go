@@ -1,0 +1,132 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"nocmap/internal/store"
+)
+
+// This file is the service's seam to the pluggable result store
+// (internal/store): the codec that lets byte-oriented tiers round-trip
+// Response envelopes, and the thin instrumented wrappers the admission and
+// finish paths call. The wrappers are the only store call sites — every
+// Get/Put/UpgradeIfBetter is counted per backend, and store failures are
+// absorbed as cache misses (availability over durability: a broken disk
+// degrades the service to compute-always, it does not take it down).
+//
+// None of the wrappers may be called with the service mutex held: the
+// store is self-locking, and the disk and sharded backends do file and
+// network I/O that must never serialize the admission path.
+
+// ResponseCodec round-trips Response envelopes as JSON for byte-oriented
+// store tiers (the disk store's objects are encoded with it). It is
+// exported so embedders constructing their own store stack (pkg/noc,
+// cmd/nocserved) encode entries exactly the way the service expects to
+// decode them.
+type ResponseCodec struct{}
+
+// Encode marshals a *Response.
+func (ResponseCodec) Encode(val any) ([]byte, error) {
+	resp, ok := val.(*Response)
+	if !ok {
+		return nil, fmt.Errorf("service: store codec got %T, want *Response", val)
+	}
+	return json.Marshal(resp)
+}
+
+// Decode unmarshals a *Response.
+func (ResponseCodec) Decode(data []byte) (any, error) {
+	var resp Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("service: store codec: %w", err)
+	}
+	return &resp, nil
+}
+
+// storeGet reads the digest from the result store. Errors (and values that
+// are not Response envelopes) are logged, counted and reported as misses.
+func (s *Service) storeGet(ctx context.Context, digest string) (*Response, bool) {
+	backend := s.store.Backend()
+	s.met.storeGets.WithLabelValues(backend).Inc()
+	e, ok, err := s.store.Get(ctx, digest)
+	if err != nil {
+		s.met.storeErrors.WithLabelValues(backend).Inc()
+		s.log.Warn("store get failed", "backend", backend, "key", digest, "error", err)
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	resp, ok := e.Val.(*Response)
+	if !ok {
+		s.met.storeErrors.WithLabelValues(backend).Inc()
+		s.log.Warn("store entry is not a response", "backend", backend, "key", digest)
+		return nil, false
+	}
+	return resp, true
+}
+
+// storePut installs the response unconditionally (modulo the disk tier's
+// own never-downgrade floor) and folds the result into the counters.
+func (s *Service) storePut(digest string, resp *Response, cost float64) {
+	backend := s.store.Backend()
+	s.met.storePuts.WithLabelValues(backend).Inc()
+	pr, err := s.store.Put(context.Background(), digest, store.Entry{Cost: cost, Val: resp})
+	if err != nil {
+		s.met.storeErrors.WithLabelValues(backend).Inc()
+		s.log.Warn("store put failed", "backend", backend, "key", digest, "error", err)
+		return
+	}
+	s.notePutResult(pr)
+}
+
+// storeUpgrade compare-and-swaps the entry for the digest: installed when
+// absent or not-better, dropped when the resident entry is strictly better,
+// counted as an upgrade when strictly better than the resident. It is the
+// streamed jobs' replace-only-with-better path.
+func (s *Service) storeUpgrade(digest string, resp *Response, cost float64) {
+	backend := s.store.Backend()
+	s.met.storePuts.WithLabelValues(backend).Inc()
+	pr, err := s.store.UpgradeIfBetter(context.Background(), digest, store.Entry{Cost: cost, Val: resp})
+	if err != nil {
+		s.met.storeErrors.WithLabelValues(backend).Inc()
+		s.log.Warn("store upgrade failed", "backend", backend, "key", digest, "error", err)
+		return
+	}
+	if pr.Upgraded {
+		s.met.cacheUpgrades.Inc()
+		s.met.storeUpgrades.WithLabelValues(backend).Inc()
+	}
+	s.notePutResult(pr)
+}
+
+// notePutResult folds a write's evictions into the stats counters.
+func (s *Service) notePutResult(pr store.PutResult) {
+	if pr.Evicted > 0 {
+		s.mu.Lock()
+		s.evictions += int64(pr.Evicted)
+		s.mu.Unlock()
+		s.met.cacheEvictions.Add(int64(pr.Evicted))
+	}
+}
+
+// Design returns the cached result for a request digest, if the store
+// holds one (GET /v1/designs/{digest}). On a sharded store a digest owned
+// by another replica is fetched from its owner. The lookup does not touch
+// the admission hit/miss counters — it answers "what do you have", it does
+// not admit work.
+func (s *Service) Design(ctx context.Context, digest string) (*Response, bool) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, false
+	}
+	resp, ok := s.storeGet(ctx, digest)
+	if !ok {
+		return nil, false
+	}
+	return resp.cached(), true
+}

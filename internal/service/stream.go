@@ -214,7 +214,22 @@ func (s *Service) SubmitStream(ctx context.Context, req Request) (JobStatus, err
 		st, _ := s.Job(f.ID)
 		return st, nil
 	}
-	if resp, ok := s.cache.get(key); ok {
+	s.mu.Unlock()
+	// The store read runs outside the mutex (disk/network backends pay
+	// real latency here); the flight table is re-checked under the lock on
+	// both sides, keeping the live-stream-outranks-cache ordering.
+	if resp, ok := s.storeGet(ctx, key); ok {
+		s.mu.Lock()
+		if f, ok := s.flight[key]; ok {
+			// A stream for this key started while the store was read; it
+			// still outranks the snapshot it may already have published.
+			s.deduped++
+			s.met.dedupJoins.Inc()
+			s.mu.Unlock()
+			s.log.Debug("joined in-flight stream", "request_id", req.RequestID, "key", key, "job", f.ID)
+			st, _ := s.Job(f.ID)
+			return st, nil
+		}
 		s.hits++
 		s.met.cacheHits.Inc()
 		j := s.newJobLocked(key, req)
@@ -231,6 +246,19 @@ func (s *Service) SubmitStream(ctx context.Context, req Request) (JobStatus, err
 		})
 		s.log.Debug("cache hit", "request_id", req.RequestID, "key", key, "engine", req.Engine, "job", j.ID)
 		st, _ := s.Job(j.ID)
+		return st, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	if f, ok := s.flight[key]; ok {
+		s.deduped++
+		s.met.dedupJoins.Inc()
+		s.mu.Unlock()
+		s.log.Debug("joined in-flight stream", "request_id", req.RequestID, "key", key, "job", f.ID)
+		st, _ := s.Job(f.ID)
 		return st, nil
 	}
 	s.misses++
@@ -278,7 +306,7 @@ func (s *Service) SubmitStream(ctx context.Context, req Request) (JobStatus, err
 	}
 
 	s.appendEvent(j, StreamEvent{Stage: StreamMapped, Engine: "greedy", Cost: cost, Response: first})
-	s.upgradeCache(j, first, cost)
+	s.storeUpgrade(j.Key, first, cost)
 
 	// Hand the improvement phase to the pool; a full queue blocks, bounded
 	// by the caller's context, mirroring the synchronous admission path.
@@ -303,34 +331,6 @@ func (s *Service) appendEvent(j *Job, e StreamEvent) bool {
 	}
 	s.met.streamEvents.Inc()
 	return true
-}
-
-// upgradeCache compare-and-swaps the cache entry for the job's key: resp is
-// installed when the cache has no entry or a not-better one, and dropped
-// when the resident entry is strictly better — a reader can never observe
-// a cost regression across consecutive hits. Strictly-better replacements
-// of an existing entry count as upgrades.
-func (s *Service) upgradeCache(j *Job, resp *Response, cost float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.upgradeCacheLocked(j, resp, cost)
-}
-
-// upgradeCacheLocked is upgradeCache with the service mutex already held.
-func (s *Service) upgradeCacheLocked(j *Job, resp *Response, cost float64) {
-	if cur, ok := s.cache.get(j.Key); ok {
-		curCost := costOfResult(cur.Result, j.req.Opts.Weights)
-		if cost > curCost+costEps {
-			return // never downgrade the cache
-		}
-		if cost < curCost-costEps {
-			s.met.cacheUpgrades.Inc()
-		}
-	}
-	if evicted := s.cache.put(j.Key, resp); evicted > 0 {
-		s.evictions += int64(evicted)
-		s.met.cacheEvictions.Add(int64(evicted))
-	}
 }
 
 // isExpiry reports whether err is a context expiry — the signal of a job
@@ -364,7 +364,9 @@ func (s *Service) streamTap(j *Job) func(search.Event) {
 		}) {
 			return
 		}
-		s.upgradeCache(j, resp, e.Cost)
+		// The store entry only ever gets better: the CAS inside
+		// UpgradeIfBetter rejects anything a concurrent writer already beat.
+		s.storeUpgrade(j.Key, resp, e.Cost)
 		s.log.Debug("incumbent improved", "request_id", j.RequestID, "job", j.ID,
 			"engine", e.Engine, "cost", e.Cost, "switches", e.Switches)
 	}

@@ -133,9 +133,7 @@ func TestSubmitStreamLifecycle(t *testing.T) {
 		string(jobJSON) == mustJSON(t, evs[0].Response.Result) {
 		t.Error("finished job still reports the greedy snapshot")
 	}
-	s.mu.Lock()
-	cached, ok := s.cache.get(st.Key)
-	s.mu.Unlock()
+	cached, ok := s.Design(context.Background(), st.Key)
 	if !ok {
 		t.Fatal("no cache entry for the streamed job")
 	}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Memory is the fixed-capacity least-recently-used store: the in-memory
+// result cache the service has always run on, now behind the Store
+// interface. It is self-locking and volatile — Close is a no-op beyond
+// rejecting further use.
+type Memory struct {
+	mu     sync.Mutex
+	cap    int
+	order  *list.List // front = most recent; values are *memEntry
+	items  map[string]*list.Element
+	closed bool
+}
+
+type memEntry struct {
+	digest string
+	entry  Entry
+}
+
+// NewMemory returns an empty LRU store holding at most capacity entries
+// (minimum 1).
+func NewMemory(capacity int) *Memory {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Memory{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Backend reports "memory".
+func (m *Memory) Backend() string { return "memory" }
+
+// Get returns the entry and refreshes its recency.
+func (m *Memory) Get(_ context.Context, digest string) (Entry, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Entry{}, false, ErrClosed
+	}
+	el, ok := m.items[digest]
+	if !ok {
+		return Entry{}, false, nil
+	}
+	m.order.MoveToFront(el)
+	return el.Value.(*memEntry).entry, true, nil
+}
+
+// Put inserts or unconditionally refreshes an entry, evicting the least
+// recently used beyond capacity.
+func (m *Memory) Put(_ context.Context, digest string, e Entry) (PutResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return PutResult{}, ErrClosed
+	}
+	return m.putLocked(digest, e), nil
+}
+
+// UpgradeIfBetter installs e unless the resident entry is strictly better.
+func (m *Memory) UpgradeIfBetter(_ context.Context, digest string, e Entry) (PutResult, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return PutResult{}, ErrClosed
+	}
+	if el, ok := m.items[digest]; ok {
+		cur := el.Value.(*memEntry).entry
+		if worse(e.Cost, cur.Cost) {
+			return PutResult{}, nil // never downgrade
+		}
+		pr := m.putLocked(digest, e)
+		pr.Upgraded = better(e.Cost, cur.Cost)
+		return pr, nil
+	}
+	return m.putLocked(digest, e), nil
+}
+
+func (m *Memory) putLocked(digest string, e Entry) PutResult {
+	if el, ok := m.items[digest]; ok {
+		el.Value.(*memEntry).entry = e
+		m.order.MoveToFront(el)
+		return PutResult{Installed: true}
+	}
+	m.items[digest] = m.order.PushFront(&memEntry{digest: digest, entry: e})
+	pr := PutResult{Installed: true}
+	for m.order.Len() > m.cap {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.items, oldest.Value.(*memEntry).digest)
+		pr.Evicted++
+	}
+	return pr
+}
+
+// Evict removes the digest, reporting whether it was resident.
+func (m *Memory) Evict(digest string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[digest]
+	if !ok {
+		return false
+	}
+	m.order.Remove(el)
+	delete(m.items, digest)
+	return true
+}
+
+// Len counts resident entries.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// Close marks the store unusable.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

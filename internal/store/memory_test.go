@@ -1,0 +1,116 @@
+package store
+
+import (
+	"context"
+	"testing"
+)
+
+var ctx = context.Background()
+
+func mustPut(t *testing.T, s Store, digest string, cost float64, val any) PutResult {
+	t.Helper()
+	pr, err := s.Put(ctx, digest, Entry{Cost: cost, Val: val})
+	if err != nil {
+		t.Fatalf("Put(%s): %v", digest, err)
+	}
+	return pr
+}
+
+func mustGet(t *testing.T, s Store, digest string) (Entry, bool) {
+	t.Helper()
+	e, ok, err := s.Get(ctx, digest)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", digest, err)
+	}
+	return e, ok
+}
+
+func TestMemoryLRUSemantics(t *testing.T) {
+	m := NewMemory(2)
+	if m.Backend() != "memory" {
+		t.Fatalf("backend = %q", m.Backend())
+	}
+	mustPut(t, m, "a", 1, "va")
+	mustPut(t, m, "b", 2, "vb")
+	// Touch a so b is the LRU victim.
+	if e, ok := mustGet(t, m, "a"); !ok || e.Val != "va" || e.Cost != 1 {
+		t.Fatalf("get a = %+v ok=%v", e, ok)
+	}
+	pr := mustPut(t, m, "c", 3, "vc")
+	if pr.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", pr.Evicted)
+	}
+	if _, ok := mustGet(t, m, "b"); ok {
+		t.Error("b survived eviction; LRU order broken")
+	}
+	if _, ok := mustGet(t, m, "a"); !ok {
+		t.Error("recently-used a was evicted")
+	}
+	if m.Len() != 2 {
+		t.Errorf("len = %d, want 2", m.Len())
+	}
+	// Refreshing an existing digest never evicts.
+	if pr := mustPut(t, m, "a", 0.5, "va2"); pr.Evicted != 0 || !pr.Installed {
+		t.Errorf("refresh put = %+v", pr)
+	}
+	if e, _ := mustGet(t, m, "a"); e.Val != "va2" {
+		t.Errorf("refresh did not replace value: %+v", e)
+	}
+}
+
+func TestMemoryUpgradeIfBetter(t *testing.T) {
+	m := NewMemory(8)
+	// Absent digest: installs.
+	pr, err := m.UpgradeIfBetter(ctx, "d", Entry{Cost: 10, Val: "first"})
+	if err != nil || !pr.Installed || pr.Upgraded {
+		t.Fatalf("install on absent = %+v, %v", pr, err)
+	}
+	// Strictly worse: rejected, resident untouched.
+	pr, err = m.UpgradeIfBetter(ctx, "d", Entry{Cost: 11, Val: "worse"})
+	if err != nil || pr.Installed {
+		t.Fatalf("downgrade accepted: %+v, %v", pr, err)
+	}
+	if e, _ := mustGet(t, m, "d"); e.Val != "first" {
+		t.Fatalf("downgrade replaced the resident value: %+v", e)
+	}
+	// Tie: replaces (the final streamed result wins ties) but is not an
+	// upgrade.
+	pr, err = m.UpgradeIfBetter(ctx, "d", Entry{Cost: 10, Val: "tie"})
+	if err != nil || !pr.Installed || pr.Upgraded {
+		t.Fatalf("tie = %+v, %v", pr, err)
+	}
+	if e, _ := mustGet(t, m, "d"); e.Val != "tie" {
+		t.Fatalf("tie did not replace: %+v", e)
+	}
+	// Strictly better: replaces and counts as an upgrade.
+	pr, err = m.UpgradeIfBetter(ctx, "d", Entry{Cost: 9, Val: "better"})
+	if err != nil || !pr.Installed || !pr.Upgraded {
+		t.Fatalf("upgrade = %+v, %v", pr, err)
+	}
+	if e, _ := mustGet(t, m, "d"); e.Val != "better" || e.Cost != 9 {
+		t.Fatalf("upgrade did not land: %+v", e)
+	}
+}
+
+func TestMemoryEvictAndClose(t *testing.T) {
+	m := NewMemory(4)
+	mustPut(t, m, "a", 1, "v")
+	if !m.Evict("a") {
+		t.Error("evict of resident digest reported false")
+	}
+	if m.Evict("a") {
+		t.Error("evict of absent digest reported true")
+	}
+	if _, ok := mustGet(t, m, "a"); ok {
+		t.Error("evicted digest still resident")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Get(ctx, "a"); err == nil {
+		t.Error("Get after Close did not fail")
+	}
+	if _, err := m.Put(ctx, "a", Entry{}); err == nil {
+		t.Error("Put after Close did not fail")
+	}
+}

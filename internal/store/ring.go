@@ -1,0 +1,89 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the number of virtual nodes per peer on the hash ring.
+// 128 points per peer keeps the ownership split within a few percent of
+// even for small fleets while the ring stays tiny (a 16-replica fleet is
+// 2048 points, one binary search per lookup).
+const ringReplicas = 128
+
+// ring is a consistent-hash ring over a static peer roster. Ownership is
+// a pure function of the sorted roster, so every replica that was started
+// with the same roster — in any order — agrees on which peer owns which
+// digest without any coordination.
+type ring struct {
+	hashes []uint64
+	peers  []string // peers[i] owns hashes[i]
+}
+
+// newRing builds the ring for the roster. The roster is deduplicated and
+// sorted first: ownership must not depend on the order operators happened
+// to list the replicas in.
+func newRing(roster []string) (*ring, error) {
+	uniq := make([]string, 0, len(roster))
+	seen := make(map[string]bool, len(roster))
+	for _, p := range roster {
+		if p == "" {
+			return nil, fmt.Errorf("store: empty peer in roster")
+		}
+		if !seen[p] {
+			seen[p] = true
+			uniq = append(uniq, p)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("store: empty roster")
+	}
+	sort.Strings(uniq)
+	r := &ring{
+		hashes: make([]uint64, 0, len(uniq)*ringReplicas),
+		peers:  make([]string, 0, len(uniq)*ringReplicas),
+	}
+	points := make(map[uint64]string, len(uniq)*ringReplicas)
+	for _, p := range uniq {
+		for i := 0; i < ringReplicas; i++ {
+			h := hash64(p + "#" + strconv.Itoa(i))
+			// On the astronomically unlikely collision the lexically
+			// smaller peer wins, deterministically on every replica.
+			if cur, ok := points[h]; !ok || p < cur {
+				points[h] = p
+			}
+		}
+	}
+	for h := range points {
+		r.hashes = append(r.hashes, h)
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	for _, h := range r.hashes {
+		r.peers = append(r.peers, points[h])
+	}
+	return r, nil
+}
+
+// owner returns the peer owning the digest: the first ring point at or
+// clockwise after the digest's hash.
+func (r *ring) owner(digest string) string {
+	h := hash64(digest)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap around the ring
+	}
+	return r.peers[i]
+}
+
+// hash64 maps a string onto the ring: the first 8 bytes of its SHA-256.
+// A cryptographic hash (rather than FNV) keeps the spread uniform even
+// for pathologically similar inputs, and SHA-256 is identical on every
+// platform a replica might run on — a requirement, since ring agreement
+// is what makes ownership coordination-free.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Sharded spreads digest ownership over a static replica roster with
+// consistent hashing so a fleet of daemons serves one logical cache.
+// Every digest has exactly one owning replica — a pure function of the
+// (sorted) roster that every replica computes identically. Reads first
+// try the local tier; a miss on a digest owned by another replica is
+// forwarded to the owner through the Fetcher (in the daemon, a noc.Client
+// hitting GET /v1/designs/{digest}), and a miss on a self-owned digest is
+// a true miss that the local service computes and stores. Writes always
+// land in the local tier: the owner accumulates every digest it is asked
+// for, while non-owners keep a local working set for the designs they
+// computed themselves.
+//
+// Forwarded hits are returned without being installed locally — the
+// owner's copy stays the single authority on entry quality, so the
+// replace-only-with-better invariant needs no cross-replica coordination.
+type Sharded struct {
+	local    Store
+	ring     *ring
+	self     string
+	fetch    Fetcher
+	forwards atomic.Int64
+	errors   atomic.Int64
+}
+
+// NewSharded builds the sharded store. roster is the full fleet — every
+// replica's base URL including this one's (self must appear in it) — and
+// must be identical, up to order, on every replica. local is the tier
+// owned entries live in (a Memory or Disk store).
+func NewSharded(local Store, self string, roster []string, fetch Fetcher) (*Sharded, error) {
+	if local == nil {
+		return nil, fmt.Errorf("store: sharded store needs a local tier")
+	}
+	if fetch == nil {
+		return nil, fmt.Errorf("store: sharded store needs a fetcher")
+	}
+	r, err := newRing(roster)
+	if err != nil {
+		return nil, err
+	}
+	found := false
+	for _, p := range roster {
+		if p == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("store: self %q is not in the peer roster %v", self, roster)
+	}
+	return &Sharded{local: local, ring: r, self: self, fetch: fetch}, nil
+}
+
+// Backend reports "sharded".
+func (s *Sharded) Backend() string { return "sharded" }
+
+// Owner returns the replica owning the digest; every replica started with
+// the same roster returns the same answer.
+func (s *Sharded) Owner(digest string) string { return s.ring.owner(digest) }
+
+// Local returns the local tier, for metric unwrapping (a disk tier's
+// byte gauge stays visible through the shard layer).
+func (s *Sharded) Local() Store { return s.local }
+
+// Forwards counts Gets forwarded to owning peers (the
+// noc_shard_forwards_total counter).
+func (s *Sharded) Forwards() int64 { return s.forwards.Load() }
+
+// Get serves from the local tier, forwarding misses on foreign digests to
+// their owner. Forwarded entries report a zero Cost — the owner
+// arbitrates upgrades, and readers of a Get use only the value.
+func (s *Sharded) Get(ctx context.Context, digest string) (Entry, bool, error) {
+	if e, ok, err := s.local.Get(ctx, digest); ok || err != nil {
+		return e, ok, err
+	}
+	owner := s.ring.owner(digest)
+	if owner == s.self {
+		return Entry{}, false, nil // true miss: this replica computes it
+	}
+	s.forwards.Add(1)
+	val, ok, err := s.fetch.Fetch(ctx, owner, digest)
+	if err != nil {
+		s.errors.Add(1)
+		return Entry{}, false, fmt.Errorf("store: forward %s to %s: %w", digest, owner, err)
+	}
+	if !ok {
+		return Entry{}, false, nil
+	}
+	return Entry{Val: val}, true, nil
+}
+
+// Put stores locally; ownership only routes reads.
+func (s *Sharded) Put(ctx context.Context, digest string, e Entry) (PutResult, error) {
+	return s.local.Put(ctx, digest, e)
+}
+
+// UpgradeIfBetter upgrades the local tier.
+func (s *Sharded) UpgradeIfBetter(ctx context.Context, digest string, e Entry) (PutResult, error) {
+	return s.local.UpgradeIfBetter(ctx, digest, e)
+}
+
+// Evict removes the digest from the local tier.
+func (s *Sharded) Evict(digest string) bool { return s.local.Evict(digest) }
+
+// Len counts local entries.
+func (s *Sharded) Len() int { return s.local.Len() }
+
+// Close closes the local tier.
+func (s *Sharded) Close() error { return s.local.Close() }

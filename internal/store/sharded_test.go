@@ -1,0 +1,161 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRingOwnershipIsRosterOrderIndependent(t *testing.T) {
+	a, err := newRing([]string{"http://r1", "http://r2", "http://r3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing([]string{"http://r3", "http://r1", "http://r2", "http://r2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		dg := digestN(i)
+		if a.owner(dg) != b.owner(dg) {
+			t.Fatalf("digest %s owned by %s vs %s under reordered roster", dg, a.owner(dg), b.owner(dg))
+		}
+	}
+}
+
+func TestRingSpreadsOwnership(t *testing.T) {
+	peers := []string{"http://r1", "http://r2", "http://r3"}
+	r, err := newRing(peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(digestN(i))]++
+	}
+	for _, p := range peers {
+		// Non-degenerate spread: every replica owns a real share. With 128
+		// virtual nodes the split is within a few percent of even; the
+		// assertion only guards against a collapsed ring.
+		if counts[p] < n/6 {
+			t.Errorf("replica %s owns only %d/%d digests", p, counts[p], n)
+		}
+	}
+	if _, err := newRing(nil); err == nil {
+		t.Error("empty roster accepted")
+	}
+	if _, err := newRing([]string{""}); err == nil {
+		t.Error("empty peer accepted")
+	}
+}
+
+// mapFetcher serves fetches from a map of peer → digest → value and
+// counts calls.
+type mapFetcher struct {
+	entries map[string]map[string]any
+	calls   int
+	err     error
+}
+
+func (f *mapFetcher) Fetch(_ context.Context, peer, digest string) (any, bool, error) {
+	f.calls++
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	v, ok := f.entries[peer][digest]
+	return v, ok, nil
+}
+
+func TestShardedForwardsForeignMisses(t *testing.T) {
+	roster := []string{"http://r1", "http://r2", "http://r3"}
+	self := "http://r1"
+	fetch := &mapFetcher{entries: make(map[string]map[string]any)}
+	s, err := NewSharded(NewMemory(16), self, roster, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Backend() != "sharded" {
+		t.Fatalf("backend = %q", s.Backend())
+	}
+
+	// Find one digest this replica owns and one a peer owns.
+	var mine, foreign string
+	for i := 0; mine == "" || foreign == ""; i++ {
+		dg := digestN(i)
+		if s.Owner(dg) == self {
+			mine = dg
+		} else if foreign == "" {
+			foreign = dg
+		}
+	}
+
+	// A miss on a self-owned digest is a true miss: no forward.
+	if _, ok := mustGet(t, s, mine); ok || fetch.calls != 0 {
+		t.Fatalf("self-owned miss forwarded (calls=%d)", fetch.calls)
+	}
+	// A local hit is served locally even for foreign digests.
+	mustPut(t, s, foreign, 1, "local")
+	if e, ok := mustGet(t, s, foreign); !ok || e.Val != "local" || fetch.calls != 0 {
+		t.Fatalf("local hit forwarded (calls=%d, %+v)", fetch.calls, e)
+	}
+	// A miss on a foreign digest is forwarded to exactly its owner.
+	s.Evict(foreign)
+	owner := s.Owner(foreign)
+	fetch.entries[owner] = map[string]any{foreign: "remote"}
+	e, ok := mustGet(t, s, foreign)
+	if !ok || e.Val != "remote" {
+		t.Fatalf("forwarded get = %+v ok=%v", e, ok)
+	}
+	if fetch.calls != 1 || s.Forwards() != 1 {
+		t.Fatalf("forwards = %d, fetch calls = %d, want 1/1", s.Forwards(), fetch.calls)
+	}
+	// Forwarded hits are not installed locally: the owner stays the
+	// authority, and the next read forwards again.
+	if _, ok := mustGet(t, s, foreign); !ok {
+		t.Fatal("second forwarded get missed")
+	}
+	if fetch.calls != 2 {
+		t.Fatalf("fetch calls = %d, want 2 (no local install)", fetch.calls)
+	}
+	// A peer miss is a clean miss, not an error.
+	delete(fetch.entries[owner], foreign)
+	if _, ok, err := s.Get(ctx, foreign); ok || err != nil {
+		t.Fatalf("peer miss = ok=%v err=%v", ok, err)
+	}
+}
+
+func TestShardedForwardErrorSurfaces(t *testing.T) {
+	roster := []string{"http://r1", "http://r2"}
+	boom := errors.New("peer down")
+	fetch := &mapFetcher{err: boom}
+	s, err := NewSharded(NewMemory(4), "http://r1", roster, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var foreign string
+	for i := 0; ; i++ {
+		if dg := digestN(i); s.Owner(dg) != "http://r1" {
+			foreign = dg
+			break
+		}
+	}
+	if _, ok, err := s.Get(ctx, foreign); ok || !errors.Is(err, boom) {
+		t.Fatalf("forward error = ok=%v err=%v, want wrapped peer error", ok, err)
+	}
+}
+
+func TestShardedValidatesConstruction(t *testing.T) {
+	fetch := &mapFetcher{}
+	if _, err := NewSharded(NewMemory(1), "http://r9", []string{"http://r1"}, fetch); err == nil {
+		t.Error("self outside roster accepted")
+	}
+	if _, err := NewSharded(nil, "http://r1", []string{"http://r1"}, fetch); err == nil {
+		t.Error("nil local tier accepted")
+	}
+	if _, err := NewSharded(NewMemory(1), "http://r1", []string{"http://r1"}, nil); err == nil {
+		t.Error("nil fetcher accepted")
+	}
+}

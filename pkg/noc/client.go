@@ -4,10 +4,15 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"net"
 	"net/http"
+	"net/url"
 	"strings"
+	"syscall"
 	"time"
 
 	"nocmap/internal/service"
@@ -47,6 +52,32 @@ func RequestIDFrom(ctx context.Context) string { return service.RequestIDFrom(ct
 // NewRequestID returns a fresh 16-hex-digit random request ID.
 func NewRequestID() string { return service.NewRequestID() }
 
+// ErrNotFound reports a lookup for a resource the daemon does not hold
+// (an uncached design digest, a forgotten job). Test with errors.Is.
+var ErrNotFound = errors.New("noc: not found")
+
+// ServerError is a non-2xx reply from the daemon: the HTTP status, the
+// server's diagnostic when the body carried one, and the request ID to
+// match against the daemon's logs. Retrieve it with errors.As to branch on
+// the status code.
+type ServerError struct {
+	// Status is the HTTP status code of the reply.
+	Status int
+	// Msg is the server's diagnostic ("" when the body carried none).
+	Msg string
+	// Path is the request path the error came from.
+	Path string
+	// RequestID is the X-Request-ID the failing request went out with.
+	RequestID string
+}
+
+func (e *ServerError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("noc: server: %s (HTTP %d, request %s)", e.Msg, e.Status, e.RequestID)
+	}
+	return fmt.Sprintf("noc: server: HTTP %d on %s (request %s)", e.Status, e.Path, e.RequestID)
+}
+
 // Client talks to a running nocserved daemon over its versioned /v1 HTTP
 // surface. Repeated identical requests from any number of clients share the
 // daemon's result cache. The zero value is not usable; construct with
@@ -55,6 +86,58 @@ type Client struct {
 	base    string
 	hc      *http.Client
 	timeout time.Duration
+	retry   RetryPolicy
+}
+
+// RetryPolicy bounds the client's retries of transient failures: HTTP 502
+// and 503 replies and connection-level dial errors (connection refused, a
+// replica mid-restart). Non-transient failures — 4xx, decode errors, an
+// expired context — are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 3). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the backoff: attempt n waits a uniformly random
+	// ("full jitter") slice of BaseDelay·2ⁿ⁻¹, capped at MaxDelay.
+	// Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+}
+
+// withDefaults fills in the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (1-based): full
+// jitter over an exponentially growing, capped window. Full jitter
+// decorrelates a thundering herd of clients retrying against one recovering
+// replica.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	window := p.BaseDelay << (attempt - 1)
+	if window <= 0 || window > p.MaxDelay {
+		window = p.MaxDelay
+	}
+	return time.Duration(rand.Int64N(int64(window))) + 1
+}
+
+// WithRetry makes the client retry transient failures (502/503 replies and
+// connection-refused dials) under the given policy; zero fields take the
+// documented defaults. Requests with bodies are replayed from scratch, so
+// retried POSTs are safe: /v1/map is idempotent by design (identical
+// requests share one cache entry and one flight).
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p.withDefaults() }
 }
 
 // ClientOption configures a Client.
@@ -186,6 +269,23 @@ func (c *Client) Batch(ctx context.Context, reqs []MapRequest) ([]BatchResult, e
 	return out.Results, nil
 }
 
+// Design fetches the cached result for a request digest (the Key field of
+// an earlier MapResponse or JobStatus) without admitting any work. A digest
+// the daemon's store does not hold reports ErrNotFound. On a sharded
+// deployment any replica answers for any digest: foreign digests are
+// resolved against their owning replica server-side.
+func (c *Client) Design(ctx context.Context, digest string) (*MapResponse, error) {
+	var resp MapResponse
+	if err := c.get(ctx, "/v1/designs/"+url.PathEscape(digest), &resp); err != nil {
+		var se *ServerError
+		if errors.As(err, &se) && se.Status == http.StatusNotFound {
+			return nil, fmt.Errorf("%w: no cached result for digest %s", ErrNotFound, digest)
+		}
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Stats reads the daemon's cache and pool gauges.
 func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
 	var st ServerStats
@@ -221,35 +321,99 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.do(req, http.StatusOK, out)
 }
 
-// do executes the request, mapping non-2xx replies to errors carrying the
-// server's diagnostic. Every request goes out with an X-Request-ID — the
-// context's, or a freshly generated one — so a failing call can be matched
-// to the daemon's log lines; errors quote the ID for that reason.
+// do executes the request, mapping non-2xx replies to *ServerError carrying
+// the server's diagnostic, and retrying transient failures under the
+// client's RetryPolicy (no policy = exactly one attempt). Every request
+// goes out with an X-Request-ID — the context's, or a freshly generated
+// one — so a failing call can be matched to the daemon's log lines; errors
+// quote the ID for that reason. Retries keep the ID, so one logical call is
+// one trace server-side.
 func (c *Client) do(req *http.Request, wantStatus int, out any) error {
 	id := RequestIDFrom(req.Context())
 	if id == "" {
 		id = NewRequestID()
 	}
 	req.Header.Set("X-Request-ID", id)
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return fmt.Errorf("noc: %s %s [request %s]: %w", req.Method, req.URL, id, err)
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != wantStatus {
-		var e struct {
-			Error string `json:"error"`
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if !c.rewind(req) {
+				return lastErr // body cannot be replayed; report the last failure
+			}
+			select {
+			case <-time.After(c.retry.backoff(attempt)):
+			case <-req.Context().Done():
+				return lastErr
+			}
 		}
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("noc: server: %s (HTTP %d, request %s)", e.Error, resp.StatusCode, id)
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("noc: %s %s [request %s]: %w", req.Method, req.URL, id, err)
+			if transientConnErr(err) {
+				continue
+			}
+			return lastErr
 		}
-		return fmt.Errorf("noc: server: HTTP %d on %s (request %s)", resp.StatusCode, req.URL.Path, id)
-	}
-	if out == nil {
+		if resp.StatusCode != wantStatus {
+			se := &ServerError{Status: resp.StatusCode, Path: req.URL.Path, RequestID: id}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&e) == nil {
+				se.Msg = e.Error
+			}
+			resp.Body.Close()
+			lastErr = se
+			if se.Status == http.StatusBadGateway || se.Status == http.StatusServiceUnavailable {
+				continue
+			}
+			return lastErr
+		}
+		if out != nil {
+			err = json.NewDecoder(resp.Body).Decode(out)
+		}
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("noc: decode %s reply: %w", req.URL.Path, err)
+		}
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("noc: decode %s reply: %w", req.URL.Path, err)
+	return lastErr
+}
+
+// rewind resets the request body for a retry. Bodiless requests always
+// rewind; bodied ones need GetBody (set automatically for the in-memory
+// readers post/get use).
+func (c *Client) rewind(req *http.Request) bool {
+	if req.Body == nil {
+		return true
 	}
-	return nil
+	if req.GetBody == nil {
+		return false
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return false
+	}
+	req.Body = body
+	return true
+}
+
+// transientConnErr reports whether err is a connection-level failure worth
+// retrying: a refused or reset connection, or any dial-phase error (a
+// replica mid-restart). Context expiry is the caller giving up, never
+// transient.
+func transientConnErr(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
 }

@@ -1,0 +1,178 @@
+package noc_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"nocmap/pkg/noc"
+)
+
+// TestRetryFlakyServer pins the retry satellite: a daemon answering 503
+// twice before recovering is transparently retried, the POST body is
+// replayed intact on every attempt, and the request keeps one X-Request-ID
+// across attempts so the retries trace as one call.
+func TestRetryFlakyServer(t *testing.T) {
+	server := noc.NewServer(noc.ServerConfig{Workers: 1})
+	defer server.Close()
+	real := server.Handler()
+
+	var attempts atomic.Int64
+	var firstID, lastID atomic.Value
+	var firstLen, lastLen atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		if n == 1 {
+			firstID.Store(r.Header.Get("X-Request-ID"))
+			firstLen.Store(int64(len(body)))
+		}
+		lastID.Store(r.Header.Get("X-Request-ID"))
+		lastLen.Store(int64(len(body)))
+		if n <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	client := noc.NewClient(ts.URL, noc.WithRetry(noc.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	resp, err := client.Map(context.Background(), fig5Design(t))
+	if err != nil {
+		t.Fatalf("map through a twice-flaky server: %v", err)
+	}
+	if resp.Result.Switches < 1 {
+		t.Fatalf("degenerate result: %+v", resp)
+	}
+	if attempts.Load() != 3 {
+		t.Errorf("server saw %d attempts, want 3", attempts.Load())
+	}
+	if firstLen.Load() == 0 || firstLen.Load() != lastLen.Load() {
+		t.Errorf("retried body not replayed: first %d bytes, last %d", firstLen.Load(), lastLen.Load())
+	}
+	if firstID.Load() == "" || firstID.Load() != lastID.Load() {
+		t.Errorf("request ID changed across retries: %v vs %v", firstID.Load(), lastID.Load())
+	}
+}
+
+// TestRetryGivesUpAfterMaxAttempts pins the cap: a server that never
+// recovers fails the call with the server's diagnostic after exactly
+// MaxAttempts tries.
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"still booting"}`, http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	client := noc.NewClient(ts.URL, noc.WithRetry(noc.RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+	}))
+	_, err := client.Stats(context.Background())
+	if err == nil {
+		t.Fatal("call against an always-502 server succeeded")
+	}
+	var se *noc.ServerError
+	if !errors.As(err, &se) || se.Status != http.StatusBadGateway {
+		t.Fatalf("error = %v, want *ServerError with 502", err)
+	}
+	if attempts.Load() != 4 {
+		t.Errorf("server saw %d attempts, want 4", attempts.Load())
+	}
+}
+
+// TestRetryDoesNotRetryClientErrors pins the transient/permanent boundary:
+// a 4xx is the caller's fault and must not be retried.
+func TestRetryDoesNotRetryClientErrors(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts.Add(1)
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	client := noc.NewClient(ts.URL, noc.WithRetry(noc.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}))
+	if _, err := client.Stats(context.Background()); err == nil {
+		t.Fatal("400 reported as success")
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("4xx was retried: %d attempts", attempts.Load())
+	}
+}
+
+// refusingTransport fails the first n round trips with connection refused,
+// then delegates — a replica that finishes restarting mid-retry.
+type refusingTransport struct {
+	fails atomic.Int64
+	n     int64
+	next  http.RoundTripper
+}
+
+func (rt *refusingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if rt.fails.Add(1) <= rt.n {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	}
+	return rt.next.RoundTrip(r)
+}
+
+// TestRetryConnectionRefused pins the dial-error half of the transient set:
+// connection-refused failures retry, and the call lands once the replica is
+// back.
+func TestRetryConnectionRefused(t *testing.T) {
+	server := noc.NewServer(noc.ServerConfig{Workers: 1})
+	defer server.Close()
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	rt := &refusingTransport{n: 2, next: http.DefaultTransport}
+	client := noc.NewClient(ts.URL,
+		noc.WithHTTPClient(&http.Client{Transport: rt}),
+		noc.WithRetry(noc.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	if _, err := client.Stats(context.Background()); err != nil {
+		t.Fatalf("stats through a twice-refusing dialer: %v", err)
+	}
+	if rt.fails.Load() != 3 {
+		t.Errorf("transport saw %d round trips, want 3", rt.fails.Load())
+	}
+
+	// Without retry the same failure surfaces immediately.
+	rt2 := &refusingTransport{n: 1, next: http.DefaultTransport}
+	plain := noc.NewClient(ts.URL, noc.WithHTTPClient(&http.Client{Transport: rt2}))
+	if _, err := plain.Stats(context.Background()); err == nil {
+		t.Fatal("refused connection reported as success without retry")
+	}
+}
+
+// TestDesignLookup pins the GET /v1/designs client surface: a mapped
+// digest resolves to its cached result, an unknown digest is ErrNotFound.
+func TestDesignLookup(t *testing.T) {
+	client, _ := newTestDaemon(t)
+	ctx := context.Background()
+	resp, err := client.Map(ctx, fig5Design(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Design(ctx, resp.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached || got.Key != resp.Key {
+		t.Errorf("design lookup = cached=%v key=%q, want cached %q", got.Cached, got.Key, resp.Key)
+	}
+	if _, err := client.Design(ctx, "deadbeef"); !errors.Is(err, noc.ErrNotFound) {
+		t.Errorf("unknown digest error = %v, want ErrNotFound", err)
+	}
+}

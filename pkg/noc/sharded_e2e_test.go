@@ -1,0 +1,196 @@
+package noc_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nocmap/internal/store"
+	"nocmap/pkg/noc"
+)
+
+// swapHandler breaks the URL chicken-and-egg of a sharded fleet: the
+// listeners (and so the roster URLs) must exist before the stores that
+// embed the roster, which must exist before the servers that serve them.
+// Each listener starts on a swapHandler and gets its real handler later.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "replica still booting", http.StatusServiceUnavailable)
+}
+
+type replica struct {
+	url    string
+	client *noc.Client
+	store  *store.Sharded
+	server *noc.Server
+}
+
+// startFleet boots n replicas sharing one consistent-hash roster.
+func startFleet(t *testing.T, n int) []replica {
+	t.Helper()
+	swaps := make([]*swapHandler, n)
+	urls := make([]string, n)
+	for i := range swaps {
+		swaps[i] = &swapHandler{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	fleet := make([]replica, n)
+	for i := range fleet {
+		st, err := noc.OpenStore(noc.StoreConfig{
+			Backend:       "sharded",
+			Peers:         urls,
+			Self:          urls[i],
+			ClientOptions: []noc.ClientOption{noc.WithTimeout(30 * time.Second)},
+		})
+		if err != nil {
+			t.Fatalf("OpenStore replica %d: %v", i, err)
+		}
+		server := noc.NewServer(noc.ServerConfig{Workers: 1, Store: st})
+		t.Cleanup(server.Close)
+		swaps[i].h.Store(server.Handler())
+		fleet[i] = replica{
+			url:    urls[i],
+			client: noc.NewClient(urls[i], noc.WithTimeout(30*time.Second)),
+			store:  st.(*store.Sharded),
+			server: server,
+		}
+	}
+	return fleet
+}
+
+// TestShardedFleetEndToEnd drives the consistent-hash store through three
+// live replicas: every replica agrees on digest ownership, a result
+// computed on the owner is a forwarded cache hit on every other replica
+// (no recomputation), and the forward counters record the peer traffic.
+func TestShardedFleetEndToEnd(t *testing.T) {
+	fleet := startFleet(t, 3)
+	ctx := context.Background()
+	d := fig5Design(t)
+
+	// Compute the request's canonical digest the same way the service will,
+	// then pick the replica the ring assigns it to.
+	mr, err := noc.BuildMapRequest(d, noc.WithEngine("greedy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq, err := mr.ToRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := sreq.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerURL := fleet[0].store.Owner(key)
+	for _, r := range fleet[1:] {
+		if got := r.store.Owner(key); got != ownerURL {
+			t.Fatalf("replicas disagree on ownership: %s vs %s", got, ownerURL)
+		}
+	}
+	var owner, other replica
+	for _, r := range fleet {
+		if r.url == ownerURL {
+			owner = r
+		} else {
+			other = r
+		}
+	}
+
+	// Map on the owner: a fresh run whose result lands in the owner's local
+	// tier under the precomputed digest.
+	resp, err := owner.client.Map(ctx, d, noc.WithEngine("greedy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached || resp.Key != key {
+		t.Fatalf("owner map = cached=%v key=%q, want fresh run under %q", resp.Cached, resp.Key, key)
+	}
+
+	// A digest lookup on a non-owner forwards to the owner and answers with
+	// the identical result.
+	viaPeer, err := other.client.Design(ctx, key)
+	if err != nil {
+		t.Fatalf("design lookup via non-owner: %v", err)
+	}
+	a, _ := json.Marshal(resp.Result)
+	b, _ := json.Marshal(viaPeer.Result)
+	if !bytes.Equal(a, b) {
+		t.Errorf("forwarded result diverges from the owner's:\n%s\nvs\n%s", a, b)
+	}
+	if other.store.Forwards() < 1 {
+		t.Errorf("non-owner forwards = %d, want >= 1", other.store.Forwards())
+	}
+
+	// The identical map request on the non-owner is a cache hit served
+	// through the shard layer — no second engine run anywhere.
+	again, err := other.client.Map(ctx, d, noc.WithEngine("greedy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("map on non-owner missed the fleet cache")
+	}
+	if c, _ := json.Marshal(again.Result); !bytes.Equal(a, c) {
+		t.Errorf("non-owner cache hit diverges from the owner's run:\n%s\nvs\n%s", a, c)
+	}
+	ownerStats, err := owner.client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherStats, err := other.client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ownerStats.JobsDone != 1 || otherStats.JobsDone != 0 {
+		t.Errorf("jobs done owner=%d other=%d, want 1/0 (no recomputation)", ownerStats.JobsDone, otherStats.JobsDone)
+	}
+	if ownerStats.StoreBackend != "sharded" || otherStats.CacheHits != 1 {
+		t.Errorf("stats: owner backend %q, other hits %d; want sharded / 1", ownerStats.StoreBackend, otherStats.CacheHits)
+	}
+
+	// A digest nobody computed is a clean fleet-wide miss.
+	if _, err := other.client.Design(ctx, "feedfacefeedface"); err == nil {
+		t.Error("uncomputed digest resolved somewhere")
+	}
+}
+
+// TestOpenStoreValidation pins OpenStore's configuration errors.
+func TestOpenStoreValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  noc.StoreConfig
+	}{
+		{"unknown backend", noc.StoreConfig{Backend: "redis"}},
+		{"disk without dir", noc.StoreConfig{Backend: "disk"}},
+		{"memory with dir", noc.StoreConfig{Backend: "memory", Dir: t.TempDir()}},
+		{"memory with peers", noc.StoreConfig{Backend: "memory", Peers: []string{"http://r1"}}},
+		{"sharded without peers", noc.StoreConfig{Backend: "sharded", Self: "http://r1"}},
+		{"sharded self outside roster", noc.StoreConfig{Backend: "sharded",
+			Peers: []string{"http://r1"}, Self: "http://r9"}},
+	}
+	for _, c := range cases {
+		if _, err := noc.OpenStore(c.cfg); err == nil {
+			t.Errorf("%s: OpenStore accepted %+v", c.name, c.cfg)
+		}
+	}
+	st, err := noc.OpenStore(noc.StoreConfig{})
+	if err != nil {
+		t.Fatalf("zero-value StoreConfig: %v", err)
+	}
+	if st.Backend() != "memory" {
+		t.Errorf("default backend = %q, want memory", st.Backend())
+	}
+	st.Close()
+}
