@@ -6,14 +6,14 @@
 // and writes a machine-readable BENCH_*.json record, and -compare diffs a
 // fresh run of the same workload against a committed record, failing (exit
 // 1) on hot-path regressions beyond -threshold or on any engine-result
-// drift. The CI bench-regression job runs `nocbench -compare BENCH_pr7.json`.
+// drift. The CI bench-regression job runs `nocbench -compare BENCH_pr10.json`.
 //
 // Usage:
 //
 //	nocbench                             # all figures
 //	nocbench -fig 6a                     # one of: 6a 6b 6c 7a 7b 7c 62 headline engines
 //	nocbench -workload quick -out b.json # measure and record
-//	nocbench -compare BENCH_pr7.json     # regression gate against a record
+//	nocbench -compare BENCH_pr10.json    # regression gate against a record
 package main
 
 import (
@@ -27,6 +27,7 @@ import (
 
 	"nocmap/internal/bench/harness"
 	"nocmap/internal/experiments"
+	"nocmap/pkg/noc"
 )
 
 var (
@@ -244,13 +245,18 @@ func engines() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nSearch-engine comparison (greedy vs anneal vs portfolio, seed %d)\n", opts.Seed)
-	fmt.Printf("%-22s %-10s %10s %10s %10s %12s\n",
-		"design", "engine", "switches", "avg hops", "max util", "elapsed")
+	fmt.Printf("\nSearch-engine comparison (%s; seed %d)\n",
+		strings.Join(noc.Engines(), " vs "), opts.Seed)
+	fmt.Printf("%-22s %-10s %10s %10s %10s %8s %8s %12s\n",
+		"design", "engine", "switches", "avg hops", "max util", "bound", "gap", "elapsed")
 	for _, r := range rows {
-		fmt.Printf("%-22s %-10s %10s %10.2f %9.1f%% %12s\n",
+		gap := fmt.Sprintf("%.1f%%", r.Gap*100)
+		if r.BoundExact {
+			gap = "proven"
+		}
+		fmt.Printf("%-22s %-10s %10s %10.2f %9.1f%% %8d %8s %12s\n",
 			r.Design, r.Engine, fmt.Sprintf("%s (%d)", r.Dim, r.Switches),
-			r.AvgHops, r.MaxUtil*100, r.Elapsed.Round(time.Millisecond))
+			r.AvgHops, r.MaxUtil*100, r.LowerBound, gap, r.Elapsed.Round(time.Millisecond))
 	}
 	return nil
 }

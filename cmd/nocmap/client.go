@@ -15,24 +15,14 @@ import (
 // topology choice travels as the request's topology field (the server falls
 // back to the design's own tag when it is empty). A non-zero timeout bounds
 // the whole call, so a hung server fails the CLI instead of stalling it.
-func runRemote(stdout, stderr io.Writer, server string, timeout time.Duration, in, engine, topo string,
-	seed int64, seeds int, budget time.Duration, freq float64, slots, maxDim int, improve bool) error {
+func runRemote(stdout, stderr io.Writer, server string, timeout time.Duration, in string,
+	freq float64, opts []noc.Option) error {
 	d, err := noc.LoadDesignFile(in)
 	if err != nil {
 		return err
 	}
 	client := noc.NewClient(server, noc.WithTimeout(timeout))
-	resp, err := client.Map(context.Background(), d,
-		noc.WithEngine(engine),
-		noc.WithTopology(topo),
-		noc.WithSeed(seed),
-		noc.WithSeeds(seeds),
-		noc.WithBudget(budget),
-		noc.WithFrequencyMHz(freq),
-		noc.WithSlotTableSize(slots),
-		noc.WithMaxMeshDim(maxDim),
-		noc.WithImprove(improve),
-	)
+	resp, err := client.Map(context.Background(), d, opts...)
 	if err != nil {
 		return err
 	}
@@ -58,6 +48,7 @@ func printRemoteSummary(stdout, stderr io.Writer, server, verdict string, resp *
 		r.Rows, r.Cols, fabric, r.Switches, freq, resp.Engine)
 	fmt.Fprintf(stdout, "stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
 		r.MaxLinkUtil*100, r.AvgMeshHops, r.SlotsReserved)
+	fmt.Fprintln(stdout, boundLine(r.LowerBoundSwitches, r.OptimalityGap, r.BoundSource, r.BoundExact))
 	if len(r.Violations) > 0 {
 		for _, v := range r.Violations {
 			fmt.Fprintln(stderr, "verify:", v)
@@ -75,25 +66,15 @@ func printRemoteSummary(stdout, stderr io.Writer, server, verdict string, resp *
 // greedy answer within milliseconds, then each strictly better result the
 // background engine finds — and the final result prints in the usual
 // summary shape once the job's budget is spent.
-func runRemoteStream(stdout, stderr io.Writer, server string, timeout time.Duration, in, engine, topo string,
-	seed int64, seeds int, budget time.Duration, freq float64, slots, maxDim int, improve bool) error {
+func runRemoteStream(stdout, stderr io.Writer, server string, timeout time.Duration, in string,
+	freq float64, opts []noc.Option) error {
 	d, err := noc.LoadDesignFile(in)
 	if err != nil {
 		return err
 	}
 	client := noc.NewClient(server, noc.WithTimeout(timeout))
 	start := time.Now()
-	improvements, err := client.MapStream(context.Background(), d,
-		noc.WithEngine(engine),
-		noc.WithTopology(topo),
-		noc.WithSeed(seed),
-		noc.WithSeeds(seeds),
-		noc.WithBudget(budget),
-		noc.WithFrequencyMHz(freq),
-		noc.WithSlotTableSize(slots),
-		noc.WithMaxMeshDim(maxDim),
-		noc.WithImprove(improve),
-	)
+	improvements, err := client.MapStream(context.Background(), d, opts...)
 	if err != nil {
 		return err
 	}

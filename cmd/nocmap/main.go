@@ -6,10 +6,18 @@
 //
 // Usage:
 //
-//	nocmap -in design.json [-engine greedy|anneal|portfolio] [-seeds 4]
+//	nocmap -in design.json [-engine <name>] [-seeds 4]
 //	       [-topology mesh|torus|@fabric.json] [-budget 30s] [-freq 500]
-//	       [-slots 64] [-speculate 4] [-vhdl noc.vhd] [-config prefix]
+//	       [-slots 64] [-speculate 4] [-population 16] [-generations 24]
+//	       [-nodes 500000] [-vhdl noc.vhd] [-config prefix]
 //	       [-placement place.txt] [-improve] [-progress]
+//
+// The engine roster comes from the search registry (noc.Engines()): the
+// greedy constructor, the annealing engines (anneal, portfolio), the
+// population engines (ga, pso, abc) and the exact branch-and-bound
+// lower-bound engine (exact). Every run reports a lower bound on the
+// feasible switch count and the resulting optimality gap; the exact engine
+// turns that bound into a proof.
 //
 // With -server URL the design is mapped by a running nocserved daemon
 // instead of in-process, so repeated invocations share its result cache;
@@ -60,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	speculate := fs.Int("speculate", 0,
 		"speculative move-evaluation width for the anneal/portfolio engines: "+
 			"score this many candidate moves concurrently per annealing step (0/1 = serial)")
+	population := fs.Int("population", 0, "population size for the ga/pso/abc engines (0 = engine default 16)")
+	generations := fs.Int("generations", 0, "generations per fabric size for the ga/pso/abc engines (0 = engine default 24)")
+	nodes := fs.Int("nodes", 0, "deterministic node budget for the exact engine (0 = default 500000)")
 	progress := fs.Bool("progress", false, "stream search progress events to stderr")
 	vhdl := fs.String("vhdl", "", "write structural VHDL to this file")
 	config := fs.String("config", "", "write per-use-case slot-table images to <prefix>-<usecase>.cfg")
@@ -89,6 +100,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	// The option set shared by local and remote runs; the flags the wire form
+	// cannot carry (-speculate, -progress) stay local-only below.
+	common := []noc.Option{
+		noc.WithEngine(*engine),
+		noc.WithTopology(*topoFlag),
+		noc.WithSeed(*seed),
+		noc.WithSeeds(*seeds),
+		noc.WithBudget(*budget),
+		noc.WithFrequencyMHz(*freq),
+		noc.WithSlotTableSize(*slots),
+		noc.WithMaxMeshDim(*maxDim),
+		noc.WithImprove(*improve),
+	}
+	if *population > 0 {
+		common = append(common, noc.WithPopulation(*population))
+	}
+	if *generations > 0 {
+		common = append(common, noc.WithGenerations(*generations))
+	}
+	if *nodes > 0 {
+		common = append(common, noc.WithExactNodes(*nodes))
+	}
+
 	if *server != "" {
 		if *vhdl != "" || *config != "" || *placement != "" || *simulate {
 			fmt.Fprintln(stderr, "nocmap: -vhdl/-config/-placement/-sim need the full mapping and run locally; drop -server to use them")
@@ -110,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *stream {
 			remote = runRemoteStream
 		}
-		if err := remote(stdout, stderr, *server, *timeout, *in, *engine, *topoFlag, *seed, *seeds, *budget, *freq, *slots, *maxDim, *improve); err != nil {
+		if err := remote(stdout, stderr, *server, *timeout, *in, *freq, common); err != nil {
 			fmt.Fprintln(stderr, "nocmap:", err)
 			return 1
 		}
@@ -120,15 +154,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "nocmap: -stream consumes a daemon's event stream; pass -server URL to use it")
 		return 2
 	}
-	if err := runLocal(stdout, stderr, *in, *engine, *topoFlag, *seed, *seeds, *speculate, *budget, *freq, *slots, *maxDim, *improve, *progress, *vhdl, *config, *placement, *simulate); err != nil {
+	if err := runLocal(stdout, stderr, *in, *freq, *slots, *speculate, *progress, *vhdl, *config, *placement, *simulate, common); err != nil {
 		fmt.Fprintln(stderr, "nocmap:", err)
 		return 1
 	}
 	return 0
 }
 
-func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64, seeds, speculate int, budget time.Duration,
-	freq float64, slots, maxDim int, improve, progress bool, vhdl, config, placement string, simulate bool) error {
+func runLocal(stdout, stderr io.Writer, in string, freq float64, slots, speculate int,
+	progress bool, vhdl, config, placement string, simulate bool, common []noc.Option) error {
 	d, err := noc.LoadDesignFile(in)
 	if err != nil {
 		return err
@@ -140,17 +174,7 @@ func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64,
 	fmt.Fprintf(stdout, "design %q: %d cores, %d use-cases (%d compound generated), %d configuration groups\n",
 		d.Name, d.NumCores(), len(prep.UseCases), len(prep.UseCases)-prep.NumOriginal, len(prep.Groups))
 
-	opts := []noc.Option{
-		noc.WithEngine(engine),
-		noc.WithTopology(topoFlag),
-		noc.WithSeed(seed),
-		noc.WithSeeds(seeds),
-		noc.WithBudget(budget),
-		noc.WithFrequencyMHz(freq),
-		noc.WithSlotTableSize(slots),
-		noc.WithMaxMeshDim(maxDim),
-		noc.WithImprove(improve),
-	}
+	opts := append([]noc.Option(nil), common...)
 	if speculate > 1 {
 		opts = append(opts, noc.WithSpeculation(speculate))
 	}
@@ -172,6 +196,7 @@ func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64,
 	fmt.Fprintf(stdout, "mapped onto %s at %.0f MHz (engine %s)\n", res.Fabric(), freq, res.Engine())
 	fmt.Fprintf(stdout, "stats: max link utilization %.1f%%, avg mesh hops %.2f, %d slot entries reserved\n",
 		res.MaxLinkUtil*100, res.AvgMeshHops, res.SlotsReserved)
+	fmt.Fprintln(stdout, boundLine(res.LowerBoundSwitches, res.OptimalityGap, res.BoundSource, res.BoundExact))
 
 	if len(res.Violations) > 0 {
 		for _, v := range res.Violations {
@@ -221,6 +246,16 @@ func runLocal(stdout, stderr io.Writer, in, engine, topoFlag string, seed int64,
 		fmt.Fprintln(stdout, "wrote", placement)
 	}
 	return nil
+}
+
+// boundLine renders the lower-bound/optimality-gap report shared by local
+// and remote summaries.
+func boundLine(lb int, gap float64, source string, exact bool) string {
+	line := fmt.Sprintf("bound: any feasible mapping needs >= %d switches (%s)", lb, source)
+	if exact {
+		return line + "; this mapping is proven optimal in switch count"
+	}
+	return line + fmt.Sprintf("; optimality gap %.1f%%", gap*100)
 }
 
 func writeFile(name string, fn func(io.Writer) error) error {

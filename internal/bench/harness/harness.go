@@ -14,6 +14,12 @@ import (
 	"nocmap/internal/core"
 	"nocmap/internal/search"
 	"nocmap/internal/usecase"
+
+	// The harness measures every registered engine, so it registers the
+	// population and exact subpackages itself rather than relying on a
+	// pkg/noc import it does not otherwise need.
+	_ "nocmap/internal/search/exact"
+	_ "nocmap/internal/search/population"
 )
 
 // The measurement harness behind `nocbench -out/-compare`: it produces File
@@ -267,11 +273,13 @@ func designLabel(name string) string {
 	return d.Name
 }
 
-// runEngines measures one complete Search per engine on design D1,
-// reporting wall-clock plus the result-quality metrics the regression gate
-// matches exactly. The entries carry the historical benchmark names so
-// records from `go test -bench` and from the harness diff against each
-// other.
+// runEngines measures one complete Search per registered engine on design
+// D1, reporting wall-clock plus the result-quality metrics the regression
+// gate matches exactly (including the run's switch-count lower bound). The
+// roster comes from the search registry, so a newly registered engine joins
+// the record without touching the harness; the pre-registry engines keep
+// their historical benchmark names so records from `go test -bench` and
+// from the harness diff against each other.
 func runEngines(ctx context.Context, w Workload, logf func(string, ...any)) ([]Benchmark, error) {
 	p := core.DefaultParams()
 	prep, numCores, _, err := prepDesign("D1", p)
@@ -280,14 +288,14 @@ func runEngines(ctx context.Context, w Workload, logf func(string, ...any)) ([]B
 	}
 	opts := search.DefaultOptions()
 	opts.Seed = w.Seed
-	// The historical record names, by engine.
+	// The historical record names of the pre-registry engines.
 	benchName := map[string]string{
 		"greedy":    "BenchmarkEngineGreedyD1",
 		"anneal":    "BenchmarkEngineAnnealD1",
 		"portfolio": "BenchmarkEnginePortfolioD1",
 	}
 	var out []Benchmark
-	for _, name := range []string{"greedy", "anneal", "portfolio"} {
+	for _, name := range search.Names() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -301,18 +309,24 @@ func runEngines(ctx context.Context, w Workload, logf func(string, ...any)) ([]B
 			return nil, fmt.Errorf("harness: engine %s on D1: %w", name, err)
 		}
 		ns := time.Since(t0).Nanoseconds()
+		entry := benchName[name]
+		if entry == "" {
+			entry = "BenchmarkEngine" + strings.ToUpper(name[:1]) + name[1:] + "D1"
+		}
+		lb, _ := search.BoundOf(res)
 		b := Benchmark{
-			Name:       benchName[name],
+			Name:       entry,
 			Iterations: 1,
 			NsPerOp:    float64(ns),
 			Metrics: map[string]float64{
 				"switches":     float64(res.Mapping.SwitchCount()),
 				"max_util_pct": res.Stats.MaxLinkUtil * 100,
+				"lower_bound":  float64(lb),
 			},
 		}
 		out = append(out, b)
-		logf("engine %s D1: %.1f ms, %d switches, %.2f%% max util",
-			name, float64(ns)/1e6, res.Mapping.SwitchCount(), res.Stats.MaxLinkUtil*100)
+		logf("engine %s D1: %.1f ms, %d switches, %.2f%% max util, bound %d",
+			name, float64(ns)/1e6, res.Mapping.SwitchCount(), res.Stats.MaxLinkUtil*100, lb)
 	}
 	return out, nil
 }

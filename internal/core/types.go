@@ -210,6 +210,30 @@ func (m *Mapping) NIIngressLink(globalNI int) int { return m.MeshLinks() + 2*glo
 // paper's primary size metric.
 func (m *Mapping) SwitchCount() int { return m.Topology.NumSwitches() }
 
+// SeatLowerBound is the weakest admissible lower bound on the switch count
+// of any feasible mapping of this design: every attached core needs one NI
+// seat, and a switch seats NIsPerSwitch*CoresPerNI of them. A fixed custom
+// fabric does not grow or shrink, so its own switch count is the bound. The
+// bound never exceeds SwitchCount() — the mapping in hand seats every
+// attached core.
+func (m *Mapping) SeatLowerBound() int {
+	if !m.Params.Topology.Grows() {
+		return m.Topology.NumSwitches()
+	}
+	attached := 0
+	for _, s := range m.CoreSwitch {
+		if s >= 0 {
+			attached++
+		}
+	}
+	per := m.Params.CoresPerSwitch()
+	lb := (attached + per - 1) / per
+	if lb < 1 {
+		lb = 1
+	}
+	return lb
+}
+
 // Attempt records one iteration of the outer growth loop.
 type Attempt struct {
 	Dim topology.Dim
@@ -236,6 +260,17 @@ type Result struct {
 	Mapping  *Mapping
 	Attempts []Attempt
 	Stats    Stats
+
+	// LowerBoundSwitches, when positive, is a provable lower bound on the
+	// switch count of any feasible mapping of the same design under the same
+	// parameters, established by an exact search (branch-and-bound over the
+	// growth sequence). Zero means no exact bound was computed; consumers
+	// fall back to Mapping.SeatLowerBound().
+	LowerBoundSwitches int
+	// LowerBoundExact reports that LowerBoundSwitches is tight: the exact
+	// search proved no mapping with fewer switches exists AND the returned
+	// mapping attains the bound, so the result is optimal in switch count.
+	LowerBoundExact bool
 }
 
 // Dim returns the mesh dimensions of the solution.
@@ -253,14 +288,19 @@ func computeStats(m *Mapping, states []*tdma.State) Stats {
 			}
 		}
 	}
+	// Iterate flows in their declared order, not the assignment map's: float
+	// summation is order-sensitive at the last ulp, and run-to-run stats of
+	// one deterministic engine must be bit-identical.
 	var bwHops, bwSum float64
 	for uc, cfg := range m.Configs {
-		for key, a := range cfg.Assignments {
-			st.SlotsReserved += a.SlotCount * len(a.Path)
-			if f, ok := m.Prep.UseCases[uc].FlowByPair(key); ok {
-				bwHops += f.BandwidthMBs * float64(a.MeshHops(m.MeshLinks()))
-				bwSum += f.BandwidthMBs
+		for _, f := range m.Prep.UseCases[uc].Flows {
+			a := cfg.Assignments[f.Key()]
+			if a == nil {
+				continue
 			}
+			st.SlotsReserved += a.SlotCount * len(a.Path)
+			bwHops += f.BandwidthMBs * float64(a.MeshHops(m.MeshLinks()))
+			bwSum += f.BandwidthMBs
 		}
 	}
 	if bwSum > 0 {

@@ -22,6 +22,13 @@ type EngineRow struct {
 	MaxUtil  float64
 	Cost     float64
 	Elapsed  time.Duration
+	// LowerBound is the run's lower bound on the feasible switch count (the
+	// seat bound, or the exact engine's branch-and-bound proof); Gap is the
+	// optimality gap (Switches - LowerBound) / LowerBound. BoundExact marks a
+	// row proven optimal in switch count.
+	LowerBound int
+	Gap        float64
+	BoundExact bool
 }
 
 // EngineOptions tune the comparison's stochastic engines. Seed and Seeds
@@ -41,6 +48,11 @@ type EngineOptions struct {
 	// Restarts overrides the feasible-start probes per shrunk fabric size
 	// when positive.
 	Restarts int
+	// Population and Generations override the population engines' sizing
+	// when positive; Nodes overrides the exact engine's node budget.
+	Population  int
+	Generations int
+	Nodes       int
 }
 
 // DefaultEngineOptions returns the comparison defaults (seed 1, four
@@ -90,6 +102,15 @@ func EngineComparison(ctx context.Context, designs []*traffic.Design, opts Engin
 			if opts.Restarts > 0 {
 				mapOpts = append(mapOpts, noc.WithRestarts(opts.Restarts))
 			}
+			if opts.Population > 0 {
+				mapOpts = append(mapOpts, noc.WithPopulation(opts.Population))
+			}
+			if opts.Generations > 0 {
+				mapOpts = append(mapOpts, noc.WithGenerations(opts.Generations))
+			}
+			if opts.Nodes > 0 {
+				mapOpts = append(mapOpts, noc.WithExactNodes(opts.Nodes))
+			}
 			t0 := time.Now()
 			res, err := noc.Map(ctx, d, mapOpts...)
 			if err != nil {
@@ -101,14 +122,17 @@ func EngineComparison(ctx context.Context, designs []*traffic.Design, opts Engin
 				SlotsReserved: res.SlotsReserved,
 			}
 			rows = append(rows, EngineRow{
-				Design:   d.Name,
-				Engine:   name,
-				Switches: res.Switches,
-				Dim:      fmt.Sprintf("%dx%d", res.Rows, res.Cols),
-				AvgHops:  res.AvgMeshHops,
-				MaxUtil:  res.MaxLinkUtil,
-				Cost:     weights.OfParts(res.Switches, stats),
-				Elapsed:  time.Since(t0),
+				Design:     d.Name,
+				Engine:     name,
+				Switches:   res.Switches,
+				Dim:        fmt.Sprintf("%dx%d", res.Rows, res.Cols),
+				AvgHops:    res.AvgMeshHops,
+				MaxUtil:    res.MaxLinkUtil,
+				Cost:       weights.OfParts(res.Switches, stats),
+				Elapsed:    time.Since(t0),
+				LowerBound: res.LowerBoundSwitches,
+				Gap:        res.OptimalityGap,
+				BoundExact: res.BoundExact,
 			})
 		}
 	}

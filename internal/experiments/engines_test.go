@@ -7,15 +7,18 @@ import (
 
 // TestEngineComparisonPortfolioNotWorse checks the acceptance criterion of
 // the search subsystem: on every design of the comparison suite (D1-D4 plus
-// the synthetic pair) the portfolio's switch count is at most greedy's.
+// the synthetic pair) no improving engine's switch count exceeds greedy's,
+// and no engine's mapping undercuts the exact engine's lower bound.
 func TestEngineComparisonPortfolioNotWorse(t *testing.T) {
 	designs, err := EngineDesigns()
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Trimmed search effort: the invariant under test is structural
-	// (portfolio contains greedy), not a function of annealing length.
-	opts := EngineOptions{Seed: 1, Seeds: 2, Iters: 30, Restarts: 1}
+	// Trimmed search effort: the invariant under test is structural (every
+	// improving engine starts from the greedy base), not a function of
+	// annealing length, population size or exact-search budget.
+	opts := EngineOptions{Seed: 1, Seeds: 2, Iters: 30, Restarts: 1,
+		Population: 6, Generations: 3, Nodes: 5000}
 	rows, err := EngineComparison(context.Background(), designs, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -35,13 +38,33 @@ func TestEngineComparisonPortfolioNotWorse(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s: no greedy row", design)
 		}
-		for _, engine := range []string{"anneal", "portfolio"} {
+		for _, engine := range []string{"anneal", "portfolio", "ga", "pso", "abc", "exact"} {
 			s, ok := byEngine[engine]
 			if !ok {
 				t.Fatalf("%s: no %s row", design, engine)
 			}
 			if s > g {
 				t.Errorf("%s: %s used %d switches, greedy %d", design, engine, s, g)
+			}
+		}
+	}
+	// Every row carries a well-formed bound, and no engine ever undercuts
+	// the exact engine's claimed lower bound.
+	for _, r := range rows {
+		if r.LowerBound < 1 || r.LowerBound > r.Switches {
+			t.Errorf("%s/%s: bound %d out of range (switches %d)", r.Design, r.Engine, r.LowerBound, r.Switches)
+		}
+	}
+	for design, byEngine := range switches {
+		var exactLB int
+		for _, r := range rows {
+			if r.Design == design && r.Engine == "exact" {
+				exactLB = r.LowerBound
+			}
+		}
+		for engine, s := range byEngine {
+			if s < exactLB {
+				t.Errorf("%s: %s found %d switches below the exact bound %d", design, engine, s, exactLB)
 			}
 		}
 	}

@@ -76,6 +76,20 @@ func (g *Gauge) Dec() { g.v.Add(-1) }
 // Value reads the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a float64 value that can go up and down. It backs the
+// labeled gauge families (GaugeVec), whose values are not always integers
+// (utilizations, optimality gaps); the unlabeled integer Gauge stays the
+// cheap common case.
+type FloatGauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram is a fixed-bucket distribution of float64 observations
 // (typically seconds). Buckets are cumulative upper bounds, Prometheus
 // style; an implicit +Inf bucket catches everything beyond the last bound.
@@ -183,6 +197,16 @@ type CounterVec struct {
 // order the labels were declared), creating it on first use.
 func (cv *CounterVec) WithLabelValues(values ...string) *Counter { return cv.with(values) }
 
+// GaugeVec is a FloatGauge family partitioned by label values, e.g. the
+// latest optimality gap by engine.
+type GaugeVec struct {
+	*vec[FloatGauge]
+}
+
+// WithLabelValues returns the gauge for the given label values (in the order
+// the labels were declared), creating it on first use.
+func (gv *GaugeVec) WithLabelValues(values ...string) *FloatGauge { return gv.with(values) }
+
 // HistogramVec is a Histogram family partitioned by label values, e.g.
 // engine latency by engine name. All children share one bucket layout.
 type HistogramVec struct {
@@ -269,6 +293,18 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		w.seriesInt(n, nil, nil, g.Value())
 	})
 	return g
+}
+
+// GaugeVec registers and returns a new labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	gv := &GaugeVec{newVec(labels, func() *FloatGauge { return &FloatGauge{} })}
+	r.register(name, help, "gauge", labels, func(w *errWriter, n string) {
+		values, children := gv.snapshot()
+		for i, g := range children {
+			w.seriesFloat(n, labels, values[i], g.Value())
+		}
+	})
+	return gv
 }
 
 // GaugeFunc registers a gauge whose value is computed by fn at scrape time

@@ -57,7 +57,7 @@ func (an Anneal) Search(ctx context.Context, prep *usecase.Prepared, numCores in
 	}
 	evals := opts.evals
 	if evals == nil {
-		evals = newEvalCache(prep, numCores, p)
+		evals = NewEvalCache(prep, numCores, p)
 	}
 	a := &annealer{
 		prep: prep, numCores: numCores, p: p, opts: opts,
@@ -78,7 +78,7 @@ type annealer struct {
 	p        core.Params
 	opts     Options
 	rng      *rand.Rand
-	evals    *evalCache
+	evals    *EvalCache
 
 	best     *core.Result
 	bestCost float64
@@ -124,9 +124,9 @@ func (a *annealer) run(ctx context.Context, base *core.Result) {
 		// committing restart effort: a mesh size some other member already
 		// beat is not worth probing, and the adopted result seeds the
 		// remaining search from the pool's best placement.
-		if a.opts.board != nil {
-			if inc := a.opts.board.get(); inc != nil && inc.cost < a.bestCost-1e-12 {
-				a.best, a.bestCost = inc.res, inc.cost
+		if a.opts.Board != nil {
+			if res, cost, ok := a.opts.Board.Best(); ok && cost < a.bestCost-1e-12 {
+				a.best, a.bestCost = res, cost
 			}
 		}
 		if dim.Switches() >= a.best.Mapping.SwitchCount() {
@@ -365,8 +365,8 @@ func (a *annealer) propose(sess *core.Session, numNIs int, attached []int) (core
 func (a *annealer) consider(r *core.Result) {
 	if c := a.opts.Weights.Of(r); c < a.bestCost-1e-12 {
 		a.best, a.bestCost = r, c
-		if a.opts.board != nil {
-			a.opts.board.publish(r, c)
+		if a.opts.Board != nil {
+			a.opts.Board.Publish(r, c)
 		}
 		a.opts.emitCounts("anneal", StageImproved, r, a.counts)
 	}

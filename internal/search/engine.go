@@ -13,8 +13,11 @@
 //     engine against N deterministically-seeded annealers under a shared
 //     context and wall-clock budget and returns the best feasible result.
 //
-// Every future strategy (genetic search, tabu, ILP) plugs in by registering
-// another Engine.
+// The population subpackage registers three metaheuristic engines over the
+// same encoding (ga, pso, abc), and the exact subpackage registers a
+// branch-and-bound engine that computes provable switch-count lower bounds
+// on small designs. Every future strategy plugs in by registering another
+// Engine.
 package search
 
 import (
@@ -72,6 +75,18 @@ type Options struct {
 	// Restarts is how many random placements the annealer tries per
 	// smaller-than-greedy mesh size when probing for a feasible start.
 	Restarts int
+	// Population is the number of candidate placements the population-based
+	// engines (ga, pso, abc) carry per generation. Zero means the engine
+	// default (16).
+	Population int
+	// Generations is the number of evolution rounds the population-based
+	// engines run per fabric. Zero means the engine default (24).
+	Generations int
+	// Nodes bounds the exact branch-and-bound engine's search effort in
+	// weighted node units (an internal tree node costs 1 unit, a leaf
+	// evaluation 100). Zero means the engine default (500000). The bound the
+	// engine reports is provable at whatever depth the budget allowed.
+	Nodes int
 	// Weights score candidate mappings.
 	Weights CostWeights
 	// Progress, when set, receives streaming events while the search runs:
@@ -91,13 +106,14 @@ type Options struct {
 	// portfolio hands one cache to all its annealers so the per-topology
 	// precomputation (validation, flow templates, candidate-path tables)
 	// happens once across the whole pool.
-	evals *evalCache
-	// board, when set, is the portfolio's shared incumbent exchange:
-	// speculative members publish strict improvements and adopt better
-	// incumbents between chains. Only wired up when SpecK > 1 — the
-	// exchange makes member results depend on scheduling, which the
-	// serial portfolio's determinism guarantee forbids.
-	board *incumbentBoard
+	evals *EvalCache
+	// Board, when set, is a shared incumbent exchange: engines publish
+	// strict improvements and may adopt better incumbents between phases.
+	// The portfolio wires one up for its members when SpecK > 1 — the
+	// exchange makes member results depend on scheduling, which the serial
+	// portfolio's determinism guarantee forbids. It is exported so engine
+	// subpackages (population, exact) publish to the same board when raced.
+	Board *IncumbentBoard
 }
 
 // DefaultOptions returns the evaluation defaults: a modest annealing length
@@ -127,6 +143,12 @@ func (o Options) Validate() error {
 		return fmt.Errorf("search: workers %d invalid", o.Workers)
 	case o.SpecK < 0 || o.SpecK > 64:
 		return fmt.Errorf("search: speculation width %d invalid (want 0..64)", o.SpecK)
+	case o.Population < 0:
+		return fmt.Errorf("search: population %d invalid", o.Population)
+	case o.Generations < 0:
+		return fmt.Errorf("search: generations %d invalid", o.Generations)
+	case o.Nodes < 0:
+		return fmt.Errorf("search: node budget %d invalid", o.Nodes)
 	}
 	return nil
 }

@@ -8,13 +8,15 @@ import (
 	"nocmap/internal/usecase"
 )
 
-// evalCache shares one core.Evaluator per topology across a search. A
+// EvalCache shares one core.Evaluator per topology across a search. A
 // single annealer reuses the evaluator between its move chain and its
 // shrink probes on the same fabric; the portfolio shares one cache across
 // every member, so N annealers probing the same smaller mesh build its
 // validation, flow templates and candidate-path tables once. Evaluators are
 // safe for concurrent use, so handing one to multiple workers is sound.
-type evalCache struct {
+// Engine subpackages (population, exact) build their own cache per Search
+// call through NewEvalCache.
+type EvalCache struct {
 	prep     *usecase.Prepared
 	numCores int
 	p        core.Params
@@ -23,8 +25,9 @@ type evalCache struct {
 	m  map[string]*core.Evaluator
 }
 
-func newEvalCache(prep *usecase.Prepared, numCores int, p core.Params) *evalCache {
-	return &evalCache{prep: prep, numCores: numCores, p: p, m: make(map[string]*core.Evaluator)}
+// NewEvalCache returns an empty evaluator cache over the prepared design.
+func NewEvalCache(prep *usecase.Prepared, numCores int, p core.Params) *EvalCache {
+	return &EvalCache{prep: prep, numCores: numCores, p: p, m: make(map[string]*core.Evaluator)}
 }
 
 // For returns the cached evaluator for the topology, constructing it on
@@ -32,7 +35,7 @@ func newEvalCache(prep *usecase.Prepared, numCores int, p core.Params) *evalCach
 // dimensions, or the custom fabric's name), so shape-equal instances built
 // by different workers share one evaluator; callers must use the returned
 // evaluator's Topology() rather than their own instance.
-func (c *evalCache) For(top *topology.Topology) (*core.Evaluator, error) {
+func (c *EvalCache) For(top *topology.Topology) (*core.Evaluator, error) {
 	key := top.String()
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -1,0 +1,320 @@
+// Package exact implements the registry's branch-and-bound engine: an
+// exhaustive search over placements along the topology growth sequence that
+// turns the heuristic engines' "best found" into a provable statement. The
+// engine walks candidate fabrics in ascending switch count and, for each
+// one smaller than the heuristic incumbent, either finds a feasible
+// placement (which is then optimal in switch count — every smaller fabric
+// was already proven infeasible) or proves none exists. The largest fabric
+// reached this way is a provable lower bound on the switch count of ANY
+// feasible mapping, which consumers report as the optimality gap
+// (best - lower) / lower.
+//
+// Three admissible prunes keep the tree honest and small:
+//
+//   - seat capacity: a fabric whose NI seats cannot hold the attached cores
+//     is infeasible outright (this alone settles designs the heuristics
+//     already map onto the seat-minimal fabric, e.g. D1);
+//   - NI seat capacity during the descent (CoresPerNI per NI);
+//   - slot demand: every distinct pair of a smooth-switching group reserves
+//     at least ceil(bw/slotBW) TDMA slots on its source NI's egress link
+//     and its destination NI's ingress link, so a partial assignment whose
+//     per-(group, NI link) demand exceeds the slot table is infeasible no
+//     matter where the remaining cores go.
+//
+// Complete placements are evaluated through the real evaluator (routing,
+// slot alignment, group sharing), so a "feasible" verdict is a genuine
+// mapping, returned as the engine's result. The search is bounded by a
+// deterministic weighted node budget (Options.Nodes) rather than
+// wall-clock, so a fixed budget reproduces the identical bound on every
+// run; Options.Budget and context cancellation still bound the wall-clock,
+// trading bound strength for time.
+package exact
+
+import (
+	"context"
+	"sort"
+
+	"nocmap/internal/core"
+	"nocmap/internal/search"
+	"nocmap/internal/tdma"
+	"nocmap/internal/topology"
+	"nocmap/internal/usecase"
+)
+
+// Node-budget weights: descending one assignment edge costs one unit, a
+// full evaluation of a leaf placement costs leafCost. The default budget
+// keeps the engine interactive (well under a second of tree work) while
+// still exhausting small fabrics.
+const (
+	defaultNodeBudget = 500000
+	leafCost          = 100
+)
+
+func init() {
+	search.Register("exact", func() search.Engine { return BranchBound{} })
+}
+
+// BranchBound is the exact engine. Its result is never worse than greedy's
+// (the greedy mapping is the incumbent the search tries to beat) and always
+// carries LowerBoundSwitches; LowerBoundExact reports whether the bound was
+// proven tight within the budget.
+type BranchBound struct{}
+
+// Name implements search.Engine.
+func (BranchBound) Name() string { return "exact" }
+
+// dimOutcome is the verdict on one candidate fabric.
+type dimOutcome int
+
+const (
+	dimInfeasible dimOutcome = iota // every placement proven infeasible
+	dimFeasible                     // a feasible placement was found
+	dimExhausted                    // budget or deadline ran out first
+)
+
+// Search implements search.Engine.
+func (bb BranchBound) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+	p core.Params, opts search.Options) (*core.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The greedy base is the incumbent to beat and the fallback result; like
+	// the other engines it runs outside the budget.
+	base, err := core.MapContext(ctx, prep, numCores, p)
+	if err != nil {
+		return nil, err
+	}
+	opts.Emit(bb.Name(), search.StageMapped, base, search.Counts{})
+	if opts.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget)
+		defer cancel()
+	}
+
+	best := base
+	incSwitches := base.Mapping.SwitchCount()
+	b := newBnb(prep, numCores, p, opts, base)
+
+	// A fixed custom fabric has exactly one candidate size: the base proves
+	// it feasible, so the bound is tight by construction.
+	if !p.Topology.Grows() {
+		best.LowerBoundSwitches = incSwitches
+		best.LowerBoundExact = true
+		opts.Emit(bb.Name(), search.StageDone, best, b.counts)
+		return best, nil
+	}
+
+	evals := search.NewEvalCache(prep, numCores, p)
+	lb, exact := 0, false
+	for _, dim := range topology.GrowthSequence(p.MaxMeshDim) {
+		s := dim.Switches()
+		if s >= incSwitches {
+			// Every fabric smaller than the incumbent is proven infeasible:
+			// the incumbent is optimal in switch count.
+			lb, exact = incSwitches, true
+			break
+		}
+		if ctx.Err() != nil || b.nodes <= 0 {
+			lb = s // smaller fabrics are all proven infeasible
+			break
+		}
+		if s*p.CoresPerSwitch() < len(b.order) {
+			continue // seat bound: proven infeasible without descending
+		}
+		outcome, res := b.searchDim(ctx, evals, dim)
+		if outcome == dimInfeasible {
+			continue
+		}
+		lb = s
+		if outcome == dimFeasible {
+			// Optimal: feasible here, infeasible everywhere smaller.
+			exact = true
+			if opts.Weights.Of(res) < opts.Weights.Of(best)-1e-12 {
+				best = res
+				best.LowerBoundSwitches = lb
+				best.LowerBoundExact = true
+				opts.Emit(bb.Name(), search.StageImproved, best, b.counts)
+			}
+		}
+		break
+	}
+	if lb == 0 {
+		// The growth sequence ended below the incumbent's size — impossible
+		// when the incumbent came from the same sequence, but keep the bound
+		// well-formed regardless.
+		lb, exact = incSwitches, true
+	}
+	best.LowerBoundSwitches = lb
+	best.LowerBoundExact = exact && best.Mapping.SwitchCount() == lb
+	opts.Emit(bb.Name(), search.StageDone, best, b.counts)
+	return best, nil
+}
+
+// bnb carries the state of one branch-and-bound run across candidate
+// fabrics: the descent order, the per-(core, group) minimum slot demands
+// and the remaining weighted node budget.
+type bnb struct {
+	prep     *usecase.Prepared
+	numCores int
+	p        core.Params
+	opts     search.Options
+	nodes    int
+	counts   search.Counts
+
+	// order lists the attached cores most-constrained first (highest total
+	// slot demand, then lowest index) — failing early keeps the tree small.
+	order []int
+	// egressNeed[c][g] / ingressNeed[c][g] are the slots core c's pairs
+	// provably occupy on its NI's egress / ingress link in group g's slot
+	// table: the sum of ceil(bw/slotBW) over the group's distinct pairs
+	// with c as source / destination, sized by the group's heaviest flow.
+	egressNeed, ingressNeed [][]int
+}
+
+func newBnb(prep *usecase.Prepared, numCores int, p core.Params, opts search.Options, base *core.Result) *bnb {
+	b := &bnb{prep: prep, numCores: numCores, p: p, opts: opts, nodes: opts.Nodes}
+	if b.nodes == 0 {
+		b.nodes = defaultNodeBudget
+	}
+	groups := len(prep.Groups)
+	b.egressNeed = make([][]int, numCores)
+	b.ingressNeed = make([][]int, numCores)
+	for c := 0; c < numCores; c++ {
+		b.egressNeed[c] = make([]int, groups)
+		b.ingressNeed[c] = make([]int, groups)
+	}
+	slotBW := p.SlotBandwidthMBs()
+	for g, members := range prep.Groups {
+		// Distinct pairs of the group, sized by the heaviest same-pair flow
+		// — exactly how the mapper sizes shared reservations.
+		maxBW := make(map[[2]int]float64)
+		for _, uc := range members {
+			for _, f := range prep.UseCases[uc].Flows {
+				k := [2]int{int(f.Src), int(f.Dst)}
+				if f.BandwidthMBs > maxBW[k] {
+					maxBW[k] = f.BandwidthMBs
+				}
+			}
+		}
+		for k, bw := range maxBW {
+			need := tdma.SlotsNeeded(bw, slotBW)
+			b.egressNeed[k[0]][g] += need
+			b.ingressNeed[k[1]][g] += need
+		}
+	}
+	attached := make([]int, 0, numCores)
+	for c, s := range base.Mapping.CoreSwitch {
+		if s >= 0 {
+			attached = append(attached, c)
+		}
+	}
+	demand := func(c int) int {
+		total := 0
+		for g := 0; g < groups; g++ {
+			total += b.egressNeed[c][g] + b.ingressNeed[c][g]
+		}
+		return total
+	}
+	sort.SliceStable(attached, func(i, j int) bool {
+		di, dj := demand(attached[i]), demand(attached[j])
+		if di != dj {
+			return di > dj
+		}
+		return attached[i] < attached[j]
+	})
+	b.order = attached
+	return b
+}
+
+// searchDim runs the depth-first descent over placements of the attached
+// cores onto the fabric's NI seats. It returns dimFeasible with a genuine
+// evaluated mapping, dimInfeasible when the whole tree was exhausted
+// without one, or dimExhausted when the node budget or deadline ran out
+// with branches still unexplored.
+func (b *bnb) searchDim(ctx context.Context, evals *search.EvalCache, dim topology.Dim) (dimOutcome, *core.Result) {
+	top, err := b.p.Topology.ForDim(dim, b.p.CoresPerSwitch())
+	if err != nil {
+		return dimInfeasible, nil // the family cannot instantiate this size
+	}
+	ev, err := evals.For(top)
+	if err != nil {
+		return dimInfeasible, nil
+	}
+	numNIs := ev.Topology().NumSwitches() * b.p.NIsPerSwitch
+	groups := len(b.prep.Groups)
+	T := b.p.SlotTableSize
+
+	niLoad := make([]int, numNIs)
+	egress := make([][]int, numNIs)
+	ingress := make([][]int, numNIs)
+	for ni := 0; ni < numNIs; ni++ {
+		egress[ni] = make([]int, groups)
+		ingress[ni] = make([]int, groups)
+	}
+	cs := make([]int, b.numCores)
+	cn := make([]int, b.numCores)
+	for c := range cs {
+		cs[c], cn[c] = -1, -1
+	}
+
+	var res *core.Result
+	var dfs func(i int) dimOutcome
+	dfs = func(i int) dimOutcome {
+		if ctx.Err() != nil || b.nodes <= 0 {
+			return dimExhausted
+		}
+		if i == len(b.order) {
+			b.nodes -= leafCost
+			b.counts.Moves++
+			r, err := ev.Evaluate(cs, cn)
+			if err != nil {
+				return dimInfeasible
+			}
+			b.counts.Accepted++
+			res = r
+			return dimFeasible
+		}
+		c := b.order[i]
+		for ni := 0; ni < numNIs; ni++ {
+			if niLoad[ni] >= b.p.CoresPerNI {
+				continue
+			}
+			b.nodes--
+			fits := true
+			for g := 0; g < groups; g++ {
+				egress[ni][g] += b.egressNeed[c][g]
+				ingress[ni][g] += b.ingressNeed[c][g]
+				if egress[ni][g] > T || ingress[ni][g] > T {
+					fits = false
+				}
+			}
+			if fits {
+				niLoad[ni]++
+				cn[c] = ni
+				cs[c] = ni / b.p.NIsPerSwitch
+				out := dfs(i + 1)
+				niLoad[ni]--
+				cn[c], cs[c] = -1, -1
+				if out != dimInfeasible {
+					for g := 0; g < groups; g++ {
+						egress[ni][g] -= b.egressNeed[c][g]
+						ingress[ni][g] -= b.ingressNeed[c][g]
+					}
+					return out
+				}
+			}
+			for g := 0; g < groups; g++ {
+				egress[ni][g] -= b.egressNeed[c][g]
+				ingress[ni][g] -= b.ingressNeed[c][g]
+			}
+			if b.nodes <= 0 {
+				return dimExhausted
+			}
+		}
+		return dimInfeasible
+	}
+	return dfs(0), res
+}

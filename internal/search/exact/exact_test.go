@@ -1,0 +1,226 @@
+package exact
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nocmap/internal/bench"
+	"nocmap/internal/core"
+	"nocmap/internal/search"
+	_ "nocmap/internal/search/population" // register ga/pso/abc for the soundness sweep
+	"nocmap/internal/traffic"
+	"nocmap/internal/usecase"
+	"nocmap/internal/verify"
+)
+
+func prepare(t *testing.T, d *traffic.Design) (*usecase.Prepared, int) {
+	t.Helper()
+	prep, err := usecase.Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prep, d.NumCores()
+}
+
+// grid16 is the hand-checkable design whose optimum is provably the 2x2
+// mesh under default parameters: eight disjoint flows of 1900 MB/s. One
+// flow needs ceil(1900 / 31.25) = 61 of the 64 slots of its source NI's
+// egress link, so no NI can host two sources (or two destinations). Eight
+// sources therefore need eight NIs — four switches. The growth sequence's
+// smaller fabrics die exactly as the branch-and-bound must prove: 1x1
+// seats only 8 of the 16 cores, and 1x2 / 1x3 (4 / 6 NIs) cannot give the
+// eight sources an egress link each.
+func grid16(t *testing.T) (*usecase.Prepared, int) {
+	t.Helper()
+	var flows []traffic.Flow
+	for i := 0; i < 8; i++ {
+		flows = append(flows, traffic.Flow{Src: traffic.CoreID(i), Dst: traffic.CoreID(8 + i), BandwidthMBs: 1900})
+	}
+	return prepare(t, &traffic.Design{
+		Name:  "grid16",
+		Cores: traffic.MakeCores(16),
+		UseCases: []*traffic.UseCase{
+			{Name: "all", Flows: flows},
+		},
+	})
+}
+
+func d1(t *testing.T) (*usecase.Prepared, int) {
+	t.Helper()
+	d, err := bench.D1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prepare(t, d)
+}
+
+func d2(t *testing.T) (*usecase.Prepared, int) {
+	t.Helper()
+	d, err := bench.D2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prepare(t, d)
+}
+
+// TestGrid16Optimum: the branch-and-bound must prove the 2x2 optimum on
+// the hand-checkable design — a tight bound established by real tree
+// search (1x2 and 1x3 are seat-feasible, so only the slot-demand descent
+// can rule them out).
+func TestGrid16Optimum(t *testing.T) {
+	prep, n := grid16(t)
+	p := core.DefaultParams()
+	res, err := BranchBound{}.Search(context.Background(), prep, n, p, search.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LowerBoundSwitches != 4 {
+		t.Fatalf("lower bound = %d, want 4 (hand-checked optimum)", res.LowerBoundSwitches)
+	}
+	if !res.LowerBoundExact {
+		t.Fatal("bound not proven exact within the default budget")
+	}
+	if got := res.Mapping.SwitchCount(); got != 4 {
+		t.Fatalf("returned mapping has %d switches, want the proven optimum 4", got)
+	}
+	if v := verify.Check(res.Mapping); len(v) > 0 {
+		t.Fatalf("exact result fails verification: %v", v)
+	}
+}
+
+// TestD1ProvenOptimal: D1's greedy mapping sits on the seat-minimal fabric
+// (26 cores, 8 seats per switch -> at least 4 switches), so the exact
+// engine proves optimality by seat bounds alone — instantly and within any
+// budget. This is the bound behind the optimality gap the service reports
+// for D1.
+func TestD1ProvenOptimal(t *testing.T) {
+	prep, n := d1(t)
+	p := core.DefaultParams()
+	res, err := BranchBound{}.Search(context.Background(), prep, n, p, search.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LowerBoundExact {
+		t.Fatalf("D1 bound not exact: lb=%d, switches=%d", res.LowerBoundSwitches, res.Mapping.SwitchCount())
+	}
+	if res.LowerBoundSwitches != res.Mapping.SwitchCount() {
+		t.Fatalf("exact bound %d does not match returned mapping's %d switches",
+			res.LowerBoundSwitches, res.Mapping.SwitchCount())
+	}
+	if lb, seat := res.LowerBoundSwitches, res.Mapping.SeatLowerBound(); lb < seat {
+		t.Fatalf("exact bound %d below the seat bound %d", lb, seat)
+	}
+	if gap := search.Gap(res.Mapping.SwitchCount(), res.LowerBoundSwitches); gap != 0 {
+		t.Fatalf("proven-optimal D1 reports gap %v, want 0", gap)
+	}
+}
+
+// TestBoundSoundAcrossEngines: on every design the bound must sit at or
+// below the switch count of every heuristic engine's result — a bound that
+// ever exceeds a feasible mapping is a soundness bug, not a weak bound.
+func TestBoundSoundAcrossEngines(t *testing.T) {
+	cases := []struct {
+		name string
+		prep func(*testing.T) (*usecase.Prepared, int)
+	}{{"grid16", grid16}, {"d1", d1}, {"d2", d2}}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prep, n := tc.prep(t)
+			p := core.DefaultParams()
+			opts := search.DefaultOptions()
+			opts.Nodes = 50000 // keep the exhaustive phase fast; the bound stays provable
+			res, err := BranchBound{}.Search(context.Background(), prep, n, p, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb := res.LowerBoundSwitches
+			if lb < 1 {
+				t.Fatalf("lower bound %d malformed", lb)
+			}
+			for _, name := range search.Names() {
+				if name == "exact" {
+					continue
+				}
+				eng, err := search.New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hopts := search.DefaultOptions()
+				hopts.Seed = 11
+				hopts.Iters = 40
+				hopts.Seeds = 2
+				hopts.Restarts = 2
+				hopts.Population = 8
+				hopts.Generations = 4
+				hres, err := eng.Search(context.Background(), prep, n, p, hopts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if hres.Mapping.SwitchCount() < lb {
+					t.Fatalf("engine %s found %d switches BELOW the claimed lower bound %d",
+						name, hres.Mapping.SwitchCount(), lb)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicBound: the node budget is counted in deterministic tree
+// units, so a fixed budget reproduces the identical bound and result.
+func TestDeterministicBound(t *testing.T) {
+	prep, n := d2(t)
+	p := core.DefaultParams()
+	opts := search.DefaultOptions()
+	opts.Nodes = 20000
+	run := func() *core.Result {
+		r, err := BranchBound{}.Search(context.Background(), prep, n, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.LowerBoundSwitches != b.LowerBoundSwitches || a.LowerBoundExact != b.LowerBoundExact {
+		t.Fatalf("bound not deterministic: (%d,%v) vs (%d,%v)",
+			a.LowerBoundSwitches, a.LowerBoundExact, b.LowerBoundSwitches, b.LowerBoundExact)
+	}
+	if a.Stats != b.Stats || a.Mapping.SwitchCount() != b.Mapping.SwitchCount() {
+		t.Fatalf("result not deterministic: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestNodesBudgetHonored: a tiny budget must still produce a well-formed
+// (weaker) bound, never an error.
+func TestNodesBudgetHonored(t *testing.T) {
+	prep, n := d2(t)
+	p := core.DefaultParams()
+	for _, nodes := range []int{1, 100, 5000} {
+		opts := search.DefaultOptions()
+		opts.Nodes = nodes
+		res, err := BranchBound{}.Search(context.Background(), prep, n, p, opts)
+		if err != nil {
+			t.Fatalf("nodes=%d: %v", nodes, err)
+		}
+		if res.LowerBoundSwitches < 1 || res.LowerBoundSwitches > res.Mapping.SwitchCount() {
+			t.Fatalf("nodes=%d: bound %d out of range (mapping has %d switches)",
+				nodes, res.LowerBoundSwitches, res.Mapping.SwitchCount())
+		}
+	}
+}
+
+// TestRegistered: the engine joins the registry as "exact".
+func TestRegistered(t *testing.T) {
+	eng, err := search.New("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Name() != "exact" {
+		t.Fatalf("Name() = %q", eng.Name())
+	}
+	// The registry error text should list it for exit-2 CLI messages.
+	_, err = search.New("no-such-engine")
+	if err == nil || !strings.Contains(err.Error(), "exact") {
+		t.Fatalf("unknown-engine error should enumerate exact: %v", err)
+	}
+}

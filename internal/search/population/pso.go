@@ -1,0 +1,158 @@
+package population
+
+import (
+	"context"
+
+	"nocmap/internal/core"
+	"nocmap/internal/search"
+	"nocmap/internal/usecase"
+)
+
+// PSO is a discrete particle swarm over placements. A particle's velocity
+// is a short swap sequence rather than a real-valued vector: each iteration
+// the particle applies up to one inertial random perturbation plus a few
+// alignment swaps that move differing cores toward its personal best and
+// the swarm's global best (the classic swap-sequence formulation of PSO on
+// permutation problems). The combined target placement is scored through
+// one incremental Session move; an infeasible target leaves the particle
+// where it was — velocity dissipates instead of wedging the swarm.
+type PSO struct{}
+
+// Name implements search.Engine.
+func (PSO) Name() string { return "pso" }
+
+// Search implements search.Engine.
+func (ps PSO) Search(ctx context.Context, prep *usecase.Prepared, numCores int,
+	p core.Params, opts search.Options) (*core.Result, error) {
+	return run(ctx, psoEvolver{}, ps.Name(), prep, numCores, p, opts)
+}
+
+type psoEvolver struct{}
+
+// PSO coefficients: inertia keeps a particle exploring (one random
+// perturbation with probability psoInertia), and each differing core is
+// pulled toward the personal / global best with the cognitive / social
+// probabilities. At most psoMaxAlign cores per attractor move in one
+// iteration, so a velocity step stays a cheap incremental re-route.
+const (
+	psoInertia   = 0.3
+	psoCognitive = 0.5
+	psoSocial    = 0.5
+	psoMaxAlign  = 2
+)
+
+func (psoEvolver) evolve(ctx context.Context, d *driver, ev *core.Evaluator,
+	switches int, pop []*indiv, attached []int) {
+	// Personal bests start at the initial positions; the global best is the
+	// lowest-cost member (ties toward the lower index).
+	pbestCN := make([][]int, len(pop))
+	pbestCost := make([]float64, len(pop))
+	for i, m := range pop {
+		_, cn := m.sess.Placement()
+		pbestCN[i] = cn
+		pbestCost[i] = m.cost
+	}
+	gbest := rankedIndices(pop)[0]
+	gbestCN := append([]int(nil), pbestCN[gbest]...)
+	gbestCost := pbestCost[gbest]
+
+	for gen := 0; gen < d.gens; gen++ {
+		if ctx.Err() != nil {
+			return
+		}
+		for i, m := range pop {
+			// Build the iteration's target placement in cnBuf/csBuf.
+			m.sess.PlacementInto(d.csBuf, d.cnBuf)
+			changed := false
+			if d.rng.Float64() < psoInertia {
+				changed = d.perturbTarget(attached) || changed
+			}
+			changed = d.alignTarget(attached, pbestCN[i], psoCognitive) || changed
+			changed = d.alignTarget(attached, gbestCN, psoSocial) || changed
+			if !changed {
+				continue
+			}
+			if !d.adopt(m, switches, d.csBuf, d.cnBuf) {
+				continue
+			}
+			if m.cost < pbestCost[i]-1e-12 {
+				pbestCost[i] = m.cost
+				_, pbestCN[i] = m.sess.Placement()
+			}
+			if m.cost < gbestCost-1e-12 {
+				gbestCost = m.cost
+				gbestCN = append(gbestCN[:0], pbestCN[i]...)
+				d.considerMember(m)
+			}
+		}
+	}
+}
+
+// perturbTarget applies one random swap or relocation to the target buffers
+// (the inertial component of the velocity). Returns whether anything moved.
+func (d *driver) perturbTarget(attached []int) bool {
+	cn, cs := d.cnBuf, d.csBuf
+	if d.rng.Float64() < 0.7 {
+		x := attached[d.rng.Intn(len(attached))]
+		y := attached[d.rng.Intn(len(attached))]
+		if x == y || cn[x] == cn[y] {
+			return false
+		}
+		cn[x], cn[y] = cn[y], cn[x]
+		cs[x], cs[y] = cs[y], cs[x]
+		return true
+	}
+	load := niOccupancyInto(d.niLoad, cn)
+	x := attached[d.rng.Intn(len(attached))]
+	free := freeNIsInto(d.freeBuf[:0], load, cn[x], d.p.CoresPerNI)
+	d.freeBuf = free
+	if len(free) == 0 {
+		return false
+	}
+	ni := free[d.rng.Intn(len(free))]
+	cn[x] = ni
+	cs[x] = ni / d.p.NIsPerSwitch
+	return true
+}
+
+// alignTarget pulls up to psoMaxAlign differing attached cores of the
+// target buffers toward the attractor placement: each selected core takes
+// the attractor's seat, swapping with the lowest-indexed core currently on
+// that seat's NI when it is full. Cores are scanned in a rotated
+// deterministic order so the pull does not always favour low-indexed cores.
+func (d *driver) alignTarget(attached []int, attractor []int, prob float64) bool {
+	cn, cs := d.cnBuf, d.csBuf
+	load := niOccupancyInto(d.niLoad, cn)
+	moved, changed := 0, false
+	off := d.rng.Intn(len(attached))
+	for k := 0; k < len(attached) && moved < psoMaxAlign; k++ {
+		c := attached[(k+off)%len(attached)]
+		want := attractor[c]
+		if want < 0 || cn[c] == want || d.rng.Float64() >= prob {
+			continue
+		}
+		if load[want] < d.p.CoresPerNI {
+			load[cn[c]]--
+			load[want]++
+			cn[c] = want
+			cs[c] = want / d.p.NIsPerSwitch
+		} else {
+			// Seat full: swap with the lowest-indexed core on the wanted NI.
+			partner := -1
+			for _, o := range attached {
+				if o != c && cn[o] == want {
+					partner = o
+					break
+				}
+			}
+			if partner < 0 {
+				continue
+			}
+			cn[c], cn[partner] = cn[partner], cn[c]
+			cs[c], cs[partner] = cs[partner], cs[c]
+		}
+		moved++
+		changed = true
+	}
+	return changed
+}

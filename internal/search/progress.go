@@ -42,6 +42,20 @@ type Event struct {
 	// Cost is the candidate's score under the configured cost weights
 	// (lower is better).
 	Cost float64 `json:"cost"`
+	// LowerBound is a provable lower bound on the switch count of any
+	// feasible mapping of the design: the exact engine's branch-and-bound
+	// bound when the result carries one, otherwise the seat bound (every
+	// attached core needs an NI seat). Always at least 1 on events carrying
+	// a result.
+	LowerBound int `json:"lower_bound,omitempty"`
+	// Gap is the relative optimality gap of the candidate,
+	// (Switches - LowerBound) / LowerBound. Zero means the candidate is
+	// proven optimal in switch count when the bound is exact, or merely
+	// matches the weak seat bound otherwise.
+	Gap float64 `json:"gap"`
+	// BoundExact reports that LowerBound came from a completed exact search
+	// rather than the seat heuristic.
+	BoundExact bool `json:"bound_exact,omitempty"`
 	// Stats are the candidate's load statistics.
 	Stats core.Stats `json:"stats"`
 	// Counts are the emitting engine's cumulative search-effort counters at
@@ -77,25 +91,59 @@ type Counts struct {
 // emit delivers an event for the given result when a progress callback is
 // configured.
 func (o Options) emit(engine string, stage Stage, r *core.Result) {
-	o.emitCounts(engine, stage, r, Counts{})
+	o.Emit(engine, stage, r, Counts{})
 }
 
 // emitCounts is emit with the engine's cumulative effort counters attached.
 func (o Options) emitCounts(engine string, stage Stage, r *core.Result, c Counts) {
+	o.Emit(engine, stage, r, c)
+}
+
+// Emit delivers a progress event for the given result with the engine's
+// cumulative effort counters attached; a nil callback or result is a no-op.
+// It is exported for engine implementations outside this package (the
+// population and exact subpackages), which must report through the same
+// event stream the in-package engines use.
+func (o Options) Emit(engine string, stage Stage, r *core.Result, c Counts) {
 	if o.Progress == nil || r == nil {
 		return
 	}
+	lb, exact := BoundOf(r)
 	o.Progress(Event{
-		Engine:   engine,
-		Stage:    stage,
-		Seed:     o.Seed,
-		Switches: r.Mapping.SwitchCount(),
-		Dim:      r.Dim().String(),
-		Cost:     o.Weights.Of(r),
-		Stats:    r.Stats,
-		Counts:   c,
-		Result:   r,
+		Engine:     engine,
+		Stage:      stage,
+		Seed:       o.Seed,
+		Switches:   r.Mapping.SwitchCount(),
+		Dim:        r.Dim().String(),
+		Cost:       o.Weights.Of(r),
+		LowerBound: lb,
+		Gap:        Gap(r.Mapping.SwitchCount(), lb),
+		BoundExact: exact,
+		Stats:      r.Stats,
+		Counts:     c,
+		Result:     r,
 	})
+}
+
+// BoundOf resolves the switch-count lower bound a result reports: the exact
+// engine's branch-and-bound bound when the result carries one, otherwise
+// the mapping's seat bound. The second return reports whether the bound is
+// exact (proven tight by a completed exact search).
+func BoundOf(r *core.Result) (lb int, exact bool) {
+	if r.LowerBoundSwitches > 0 {
+		return r.LowerBoundSwitches, r.LowerBoundExact
+	}
+	return r.Mapping.SeatLowerBound(), false
+}
+
+// Gap is the relative optimality gap of a candidate with the given switch
+// count against a lower bound: (switches - lb) / lb, clamped at zero. A
+// non-positive bound yields zero (no meaningful gap).
+func Gap(switches, lb int) float64 {
+	if lb <= 0 || switches <= lb {
+		return 0
+	}
+	return float64(switches-lb) / float64(lb)
 }
 
 // serializedProgress wraps a progress callback so concurrent emitters (the

@@ -282,7 +282,7 @@ func TestFeasibleStartShrinkProbeTooSmall(t *testing.T) {
 	a := &annealer{
 		prep: prep, numCores: n, p: p, opts: opts,
 		rng:   rand.New(rand.NewSource(1)),
-		evals: newEvalCache(prep, n, p),
+		evals: NewEvalCache(prep, n, p),
 	}
 	attached := []int{0, 1, 2, 3} // four cores, one seat
 	defer func() {

@@ -298,11 +298,12 @@ func (a *annealer) feasibleStartSpec(ctx context.Context, ev *core.Evaluator, se
 	return nil
 }
 
-// incumbentBoard is the portfolio's shared best-so-far exchange: members
-// publish strict improvements and adopt the pool's best between chains.
-// Publication is a compare-and-swap loop on an atomic pointer — lock-free,
-// safe from any number of workers.
-type incumbentBoard struct {
+// IncumbentBoard is a shared best-so-far exchange: engines publish strict
+// improvements and adopt the pool's best between phases. Publication is a
+// compare-and-swap loop on an atomic pointer — lock-free, safe from any
+// number of workers. The portfolio wires one up for its speculative
+// members; engine subpackages publish to Options.Board when one is set.
+type IncumbentBoard struct {
 	best atomic.Pointer[incumbent]
 }
 
@@ -313,9 +314,9 @@ type incumbent struct {
 	cost float64
 }
 
-// publish installs the result if it is strictly better (beyond the float
+// Publish installs the result if it is strictly better (beyond the float
 // tolerance) than the current incumbent. Returns whether it won.
-func (b *incumbentBoard) publish(r *core.Result, cost float64) bool {
+func (b *IncumbentBoard) Publish(r *core.Result, cost float64) bool {
 	for {
 		cur := b.best.Load()
 		if cur != nil && cost >= cur.cost-1e-12 {
@@ -327,7 +328,12 @@ func (b *incumbentBoard) publish(r *core.Result, cost float64) bool {
 	}
 }
 
-// get returns the current incumbent, or nil when nothing was published.
-func (b *incumbentBoard) get() *incumbent {
-	return b.best.Load()
+// Best returns the current incumbent and its cost; ok is false when nothing
+// was published yet.
+func (b *IncumbentBoard) Best() (r *core.Result, cost float64, ok bool) {
+	cur := b.best.Load()
+	if cur == nil {
+		return nil, 0, false
+	}
+	return cur.res, cur.cost, true
 }

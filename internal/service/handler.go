@@ -35,6 +35,11 @@ type MapRequest struct {
 	Seed  *int64 `json:"seed,omitempty"`
 	Seeds *int   `json:"seeds,omitempty"`
 	Iters *int   `json:"iters,omitempty"`
+	// Population and Generations size the population engines (ga, pso, abc);
+	// Nodes is the exact engine's deterministic node budget.
+	Population  *int `json:"population,omitempty"`
+	Generations *int `json:"generations,omitempty"`
+	Nodes       *int `json:"nodes,omitempty"`
 	// Budget is a Go duration string ("30s") bounding the search.
 	Budget string `json:"budget,omitempty"`
 	// FreqMHz, Slots, MaxDim, Improve override core.DefaultParams.
@@ -106,6 +111,15 @@ func (mr *MapRequest) ToRequest() (Request, error) {
 	}
 	if mr.Iters != nil {
 		req.Opts.Iters = *mr.Iters
+	}
+	if mr.Population != nil {
+		req.Opts.Population = *mr.Population
+	}
+	if mr.Generations != nil {
+		req.Opts.Generations = *mr.Generations
+	}
+	if mr.Nodes != nil {
+		req.Opts.Nodes = *mr.Nodes
 	}
 	if mr.Budget != "" {
 		b, err := time.ParseDuration(mr.Budget)

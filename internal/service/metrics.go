@@ -61,6 +61,10 @@ type serviceMetrics struct {
 	searchRestarts     *metrics.CounterVec // shrink-probe restarts by engine
 	searchSpeculated   *metrics.CounterVec // candidates evaluated in speculative batches
 	searchSpecAccepted *metrics.CounterVec // speculative batches that committed a candidate
+	searchExactBounds  *metrics.CounterVec // runs that finished with a proven-tight bound, by engine
+
+	searchLowerBound *metrics.GaugeVec // latest lower bound (switches) by engine
+	searchGap        *metrics.GaugeVec // latest optimality gap by engine
 }
 
 // newServiceMetrics registers the service's metric families on reg. The
@@ -105,6 +109,13 @@ func newServiceMetrics(reg *metrics.Registry, s *Service) *serviceMetrics {
 			"Candidate moves evaluated in speculative batches, by engine.", "engine"),
 		searchSpecAccepted: reg.CounterVec("noc_search_speculation_accepted_total",
 			"Speculative batches that committed a candidate, by engine; divided by the batch count of noc_search_speculated_total this is the speculation hit rate.", "engine"),
+		searchExactBounds: reg.CounterVec("noc_search_exact_bounds_total",
+			"Runs that finished with a proven-tight lower bound (the result is optimal in switch count), by engine.", "engine"),
+
+		searchLowerBound: reg.GaugeVec("noc_search_lower_bound_switches",
+			"Lower bound on the switch count of the latest finished run, by engine (seat bound, or the exact engine's branch-and-bound proof).", "engine"),
+		searchGap: reg.GaugeVec("noc_search_optimality_gap",
+			"Optimality gap (switches - bound) / bound of the latest finished run, by engine; 0 means the mapping attains the bound.", "engine"),
 	}
 
 	reg.GaugeFunc("noc_uptime_seconds", "Seconds since process start.",
@@ -167,6 +178,13 @@ func (m *serviceMetrics) progressTap(next func(search.Event)) func(search.Event)
 			if e.Speculated > 0 {
 				m.searchSpeculated.WithLabelValues(e.Engine).Add(e.Speculated)
 				m.searchSpecAccepted.WithLabelValues(e.Engine).Add(e.SpecAccepted)
+			}
+			if e.LowerBound > 0 {
+				m.searchLowerBound.WithLabelValues(e.Engine).Set(float64(e.LowerBound))
+				m.searchGap.WithLabelValues(e.Engine).Set(e.Gap)
+			}
+			if e.BoundExact {
+				m.searchExactBounds.WithLabelValues(e.Engine).Inc()
 			}
 		}
 		if next != nil {

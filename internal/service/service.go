@@ -162,8 +162,9 @@ func (r *Request) Key() (string, error) {
 	if r.Engine == "greedy" {
 		o = search.Options{}
 	}
-	fmt.Fprintf(h, "opts %d %d %d %d %d %d %s %s %s\n",
+	fmt.Fprintf(h, "opts %d %d %d %d %d %d %d %d %d %s %s %s\n",
 		o.Seed, o.Seeds, int64(o.Budget), o.Workers, o.Iters, o.Restarts,
+		o.Population, o.Generations, o.Nodes,
 		hexf(o.Weights.SwitchCount), hexf(o.Weights.MeanHops), hexf(o.Weights.MaxUtil))
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
@@ -775,6 +776,17 @@ type Result struct {
 	AvgMeshHops   float64 `json:"avg_mesh_hops"`
 	SlotsReserved int     `json:"slots_reserved"`
 
+	// LowerBoundSwitches is a provable lower bound on the switch count of any
+	// feasible mapping of this design under these parameters. BoundSource says
+	// where it came from: "seats" (NI seat capacity — always available) or
+	// "bnb" (the exact engine's branch-and-bound proof, carried on its
+	// result). OptimalityGap is (switches - bound) / bound; BoundExact marks
+	// the bound proven tight, i.e. the mapping is optimal in switch count.
+	LowerBoundSwitches int     `json:"lower_bound_switches"`
+	OptimalityGap      float64 `json:"optimality_gap"`
+	BoundSource        string  `json:"bound_source"`
+	BoundExact         bool    `json:"bound_exact,omitempty"`
+
 	AreaMM2 float64 `json:"area_mm2"`
 	PowerMW float64 `json:"power_mw"`
 
@@ -810,6 +822,11 @@ func summarize(req Request, prep *usecase.Prepared, res *core.Result) *Response 
 // mapped through the service encode identically.
 func SummarizeResult(designName string, prep *usecase.Prepared, res *core.Result) Result {
 	m := res.Mapping
+	lb, exact := search.BoundOf(res)
+	source := "seats"
+	if res.LowerBoundSwitches > 0 {
+		source = "bnb"
+	}
 	out := Result{
 		Design:        designName,
 		Topology:      m.Topology.Kind.String(),
@@ -819,10 +836,15 @@ func SummarizeResult(designName string, prep *usecase.Prepared, res *core.Result
 		MaxLinkUtil:   res.Stats.MaxLinkUtil,
 		AvgMeshHops:   res.Stats.AvgMeshHops,
 		SlotsReserved: res.Stats.SlotsReserved,
-		AreaMM2:       area.DefaultModel().NoCMM2(m),
-		PowerMW:       power.Watts(m.SwitchCount(), m.Params.FreqMHz) * 1000,
-		CoreSwitch:    append([]int(nil), m.CoreSwitch...),
-		CoreNI:        append([]int(nil), m.CoreNI...),
+
+		LowerBoundSwitches: lb,
+		OptimalityGap:      search.Gap(m.SwitchCount(), lb),
+		BoundSource:        source,
+		BoundExact:         exact,
+		AreaMM2:            area.DefaultModel().NoCMM2(m),
+		PowerMW:            power.Watts(m.SwitchCount(), m.Params.FreqMHz) * 1000,
+		CoreSwitch:         append([]int(nil), m.CoreSwitch...),
+		CoreNI:             append([]int(nil), m.CoreNI...),
 	}
 	for i, u := range prep.UseCases {
 		out.UseCases = append(out.UseCases, UseCaseResult{

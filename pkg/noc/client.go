@@ -208,6 +208,9 @@ func BuildMapRequest(d *Design, opts ...Option) (MapRequest, error) {
 	mr.Seed = cfg.seed
 	mr.Seeds = cfg.seeds
 	mr.Iters = cfg.iters
+	mr.Population = cfg.population
+	mr.Generations = cfg.generations
+	mr.Nodes = cfg.nodes
 	if cfg.budget != nil && *cfg.budget > 0 {
 		mr.Budget = cfg.budget.String()
 	}

@@ -8,6 +8,12 @@ import (
 	"nocmap/internal/topology"
 	"nocmap/internal/traffic"
 	"nocmap/internal/usecase"
+
+	// Register the population engines (ga, pso, abc) and the exact
+	// branch-and-bound engine with the search registry, so every SDK and CLI
+	// consumer sees the full engine roster.
+	_ "nocmap/internal/search/exact"
+	_ "nocmap/internal/search/population"
 )
 
 // The SDK's data model is the toolkit's own, surfaced under stable public
@@ -87,8 +93,10 @@ func DefaultParams() Params { return core.DefaultParams() }
 // outweighs any achievable hop or utilization improvement.
 func DefaultWeights() Weights { return search.DefaultCostWeights() }
 
-// Engines lists the registered search engines ("anneal", "greedy",
-// "portfolio", plus anything added via the search registry), sorted.
+// Engines lists the registered search engines, sorted — the heuristics
+// ("greedy", "anneal", "portfolio"), the population engines ("ga", "pso",
+// "abc"), the exact lower-bound engine ("exact"), plus anything added via
+// the search registry.
 func Engines() []string { return search.Names() }
 
 // TopologyKinds lists the named interconnect families WithTopology accepts

@@ -21,14 +21,17 @@ type config struct {
 	opts     search.Options
 
 	// Wire-relevant overrides, kept as set/unset for Client requests.
-	seed    *int64
-	seeds   *int
-	iters   *int
-	budget  *time.Duration
-	freq    *float64
-	slots   *int
-	maxDim  *int
-	improve *bool
+	seed        *int64
+	seeds       *int
+	iters       *int
+	population  *int
+	generations *int
+	nodes       *int
+	budget      *time.Duration
+	freq        *float64
+	slots       *int
+	maxDim      *int
+	improve     *bool
 
 	// Local-only knobs (rejected by Client.Map).
 	paramsSet  bool
@@ -106,6 +109,26 @@ func WithSeeds(n int) Option {
 // WithIters sets the number of annealing moves per start.
 func WithIters(n int) Option {
 	return func(c *config) { c.opts.Iters = n; c.iters = &n }
+}
+
+// WithPopulation sets the population size of the population engines (ga,
+// pso, abc). 0 keeps the engines' default of 16.
+func WithPopulation(n int) Option {
+	return func(c *config) { c.opts.Population = n; c.population = &n }
+}
+
+// WithGenerations sets how many generations (cycles) the population engines
+// evolve per fabric size. 0 keeps the engines' default of 24.
+func WithGenerations(n int) Option {
+	return func(c *config) { c.opts.Generations = n; c.generations = &n }
+}
+
+// WithExactNodes sets the exact engine's deterministic search budget, in
+// weighted tree nodes (descending one assignment edge costs 1, evaluating a
+// complete placement costs 100). A fixed budget reproduces the identical
+// bound on every run. 0 keeps the default of 500000.
+func WithExactNodes(n int) Option {
+	return func(c *config) { c.opts.Nodes = n; c.nodes = &n }
 }
 
 // WithRestarts sets how many random placements the annealer tries per

@@ -8,7 +8,9 @@
 package nocmap_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"testing"
@@ -16,10 +18,16 @@ import (
 	"nocmap/internal/bench"
 	"nocmap/internal/core"
 	"nocmap/internal/search"
+	"nocmap/internal/service"
 	"nocmap/internal/sim"
 	"nocmap/internal/topology"
 	"nocmap/internal/usecase"
 	"nocmap/internal/verify"
+
+	// Register the population (ga/pso/abc) and exact engines so the harness
+	// sweeps the full roster, exactly as the binaries do via pkg/noc.
+	_ "nocmap/internal/search/exact"
+	_ "nocmap/internal/search/population"
 )
 
 // propSpec derives a small synthetic design spec from a seed, alternating
@@ -94,8 +102,9 @@ func checkDeliveredBandwidth(t *testing.T, label string, m *core.Mapping) {
 }
 
 // TestPropertyEnginesTopologiesInvariants is the harness: ~50 seeded designs
-// x {greedy, anneal, portfolio} x {mesh, torus}. Infeasibility is a
-// legitimate outcome on the capped mesh; every claimed success is verified.
+// x every registered engine (greedy, anneal, portfolio, ga, pso, abc, exact)
+// x {mesh, torus}. Infeasibility is a legitimate outcome on the capped mesh;
+// every claimed success is verified.
 func TestPropertyEnginesTopologiesInvariants(t *testing.T) {
 	seeds := 50
 	if testing.Short() {
@@ -125,6 +134,9 @@ func TestPropertyEnginesTopologiesInvariants(t *testing.T) {
 					opts.Iters = 6
 					opts.Seeds = 2
 					opts.Restarts = 1
+					opts.Population = 6
+					opts.Generations = 3
+					opts.Nodes = 5000
 					res, err := eng.Search(context.Background(), prep, d.NumCores(), propParams(kind), opts)
 					if err != nil {
 						var inf *core.InfeasibleError
@@ -140,5 +152,76 @@ func TestPropertyEnginesTopologiesInvariants(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPropertyPopulationEnginesDeterminism pins a few generator seeds and
+// checks the population engines' contract on mesh and torus fabrics: each
+// of ga/pso/abc verifies clean, never lands on more switches than greedy
+// (every population seeds from the greedy base and only adopts strict
+// improvements), and running the identical search twice yields
+// byte-identical service summaries — the determinism the server's
+// content-addressed result cache depends on.
+func TestPropertyPopulationEnginesDeterminism(t *testing.T) {
+	t.Parallel()
+	greedyEng, err := search.New("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{3, 8, 17} {
+		d, err := bench.Synthetic(propSpec(seed))
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		prep, err := usecase.Prepare(d)
+		if err != nil {
+			t.Fatalf("seed %d: prepare: %v", seed, err)
+		}
+		for _, kind := range []topology.Kind{topology.KindMesh, topology.KindTorus} {
+			p := propParams(kind)
+			opts := search.DefaultOptions()
+			opts.Seed = seed
+			opts.Iters = 6
+			opts.Seeds = 2
+			opts.Restarts = 1
+			opts.Population = 8
+			opts.Generations = 4
+			gres, err := greedyEng.Search(context.Background(), prep, d.NumCores(), p, opts)
+			if err != nil {
+				var inf *core.InfeasibleError
+				if errors.As(err, &inf) {
+					continue // infeasible on the capped fabric: legitimate
+				}
+				t.Fatalf("seed %d greedy topology %s: %v", seed, kind, err)
+			}
+			for _, engineName := range []string{"ga", "pso", "abc"} {
+				label := fmt.Sprintf("seed %d engine %s topology %s", seed, engineName, kind)
+				eng, err := search.New(engineName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := func() []byte {
+					res, err := eng.Search(context.Background(), prep, d.NumCores(), p, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if vs := verify.Check(res.Mapping); len(vs) != 0 {
+						t.Fatalf("%s: %d verification violations, first: %v", label, len(vs), vs[0])
+					}
+					if got, g := res.Mapping.SwitchCount(), gres.Mapping.SwitchCount(); got > g {
+						t.Fatalf("%s: %d switches, worse than greedy's %d", label, got, g)
+					}
+					sum, err := json.Marshal(service.SummarizeResult(d.Name, prep, res))
+					if err != nil {
+						t.Fatalf("%s: marshal summary: %v", label, err)
+					}
+					return sum
+				}
+				first, second := run(), run()
+				if !bytes.Equal(first, second) {
+					t.Errorf("%s: same-seed reruns differ:\n%s\n%s", label, first, second)
+				}
+			}
+		}
 	}
 }
